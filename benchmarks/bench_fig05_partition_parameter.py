@@ -1,0 +1,25 @@
+"""Figure 5 — SC assembly time vs partition parameter (3-D, GPU, factor
+splitting).
+
+Reproduced claims: U-shaped dependency (tiny blocks launch-bound, huge
+blocks waste FLOPs on zeros); the *fixed block size* optimum is independent
+of subdomain size while the *fixed count* optimum grows with it."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig05_partition_parameter(benchmark):
+    res = run_and_report(benchmark, "fig05")
+    # U-shape: block size 1 is at least 5x worse than the optimum.
+    assert res.metrics["u_shape_penalty_small_3k"] > 5
+    assert res.metrics["u_shape_penalty_small_35k"] > 5
+    # Size optimum is (approximately) subdomain-size independent: the two
+    # optima lie within one grid step of each other.
+    grid = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 100000]
+    i3 = grid.index(int(res.metrics["best_block_size_3k"]))
+    i35 = grid.index(int(res.metrics["best_block_size_35k"]))
+    assert abs(i3 - i35) <= 1
+    # And it sits in the few-hundreds range the paper reports (~500).
+    assert 100 <= res.metrics["best_block_size_35k"] <= 2000

@@ -1,0 +1,19 @@
+"""Figure 6 — comparison of TRSM (rhs / factor / factor+prune) and SYRK
+(input / output) splitting variants on CPU and GPU, 2-D and 3-D.
+
+Reproduced claims: pruning helps increasingly with subdomain size (3-D);
+factor splitting with pruning is the best TRSM variant at large sizes; the
+SYRK variants are close to each other."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig06_splitting_variants(benchmark):
+    res = run_and_report(benchmark, "fig06")
+    # Pruning pays off at the largest 3-D size (paper: "for large
+    # subdomains, pruning always has a positive effect").
+    assert res.metrics["trsm_3d_prune_gain_at_max"] > 1.5
+    # In 2-D (sparse blocks throughout) the effect is small but >= ~1.
+    assert res.metrics["trsm_2d_prune_gain_at_max"] > 0.8

@@ -1,0 +1,16 @@
+"""Table 1 — optimal splitting of the matrices.
+
+Sweeps block size (S) and block count (C) per algorithm x CPU/GPU x 2D/3D
+on representative subdomains and reports the best setting next to the
+paper's (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table1_optimal_splitting(benchmark):
+    res = run_and_report(benchmark, "table1")
+    table = res.tables[0][1]
+    # Every algorithm row found *some* optimum in the swept grid.
+    assert table.count("S ") + table.count("C ") >= 16

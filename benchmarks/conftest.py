@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+``REPRO_PAPER_SCALE=1`` extends the sweeps towards the paper's full size
+ladders (minutes to hours); the default quick mode finishes in a few
+minutes on a laptop.  Rendered result tables are written to
+``benchmarks/results/`` and printed (run with ``-s`` to see them live).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "0") == "1"
+
+
+def run_and_report(benchmark, name: str, **kwargs):
+    """Run an experiment driver once under pytest-benchmark, persist + print."""
+    from repro.bench import results_dir, run_experiment
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(name, quick=not PAPER_SCALE, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    path = result.save(results_dir())
+    print()
+    print(result.render())
+    print(f"[saved to {path}]")
+    return result

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Generality demo: the same sparsity-aware assembly on linear elasticity.
+
+The paper closes with "the approach can be successfully used in other
+methods where SC of the form B K^{-1} B^T are computed" (§6).  This example
+assembles the dual operator of a floating *elasticity* subdomain — denser
+factor, three displacement DOFs per node, a 3-/6-dimensional rigid-body
+kernel — with the unchanged kernels, verifies exactness, and reports the
+simulated speedup.
+
+Run:  python examples/elasticity_subdomain.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.workloads import make_elasticity_workload, make_workload
+from repro.core import SchurAssembler, baseline_config, default_config
+from repro.sparse import solve_lower
+from repro.util import Table
+
+
+def main() -> None:
+    table = Table(
+        ["workload", "dofs", "m", "kernel", "orig [ms]", "opt [ms]", "speedup", "max err"],
+        title="heat transfer vs elasticity, simulated GPU assembly",
+    )
+    for label, wl, kdim in (
+        ("heat 3D", make_workload(3, 2744), 1),
+        ("elasticity 2D", make_elasticity_workload(2, 2000), 3),
+        ("elasticity 3D", make_elasticity_workload(3, 2000), 6),
+    ):
+        dim = wl.dim
+        orig = SchurAssembler(config=baseline_config("sparse")).assemble(wl.factor, wl.bt)
+        opt = SchurAssembler(config=default_config("gpu", dim)).assemble(wl.factor, wl.bt)
+        y = solve_lower(wl.factor.l, wl.bt.tocsr()[wl.factor.perm].toarray())
+        err = max(
+            np.abs(orig.f - y.T @ y).max(),
+            np.abs(opt.f - y.T @ y).max(),
+        )
+        table.add_row(
+            [
+                label,
+                wl.n_dofs,
+                wl.n_multipliers,
+                kdim,
+                orig.elapsed * 1e3,
+                opt.elapsed * 1e3,
+                orig.elapsed / opt.elapsed,
+                err,
+            ]
+        )
+        assert err < 1e-8
+    print(table.render())
+    print(
+        "\nNo elasticity-specific code paths exist in repro.core — the "
+        "stepped permutation and split kernels only see a factor and a "
+        "sparse B^T, exactly the generality the paper claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: assemble one Schur complement with and without sparsity.
+
+Builds a floating 3-D heat-transfer subdomain, factorizes it, assembles the
+local FETI dual operator ``F = B K^+ B^T`` with (a) the baseline kernels of
+[9] and (b) this paper's sparsity-aware kernels, verifies both against a
+dense reference, and prints the simulated GPU timings.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import make_workload
+from repro.core import SchurAssembler, baseline_config, default_config
+from repro.sparse import solve_lower
+from repro.util import format_si
+
+def main() -> None:
+    # A ~2.7k-DOF floating cube subdomain with its whole surface glued.
+    wl = make_workload(dim=3, target_dofs=2744)
+    print(f"subdomain: {wl.n_dofs} DOFs, {wl.n_multipliers} Lagrange multipliers")
+    print(f"factor: {wl.factor.nnz} nonzeros, {format_si(wl.factor.flops)}flop")
+
+    # Baseline of [9]: full TRSM + full SYRK on the (simulated) GPU.
+    base = SchurAssembler(config=baseline_config("sparse"))
+    res_base = base.assemble(wl.factor, wl.bt)
+
+    # This paper: stepped permutation + factor-split TRSM (pruned) +
+    # input-split SYRK, tuned block sizes from Table 1.
+    opt = SchurAssembler(config=default_config("gpu", 3))
+    res_opt = opt.assemble(wl.factor, wl.bt)
+
+    # Both must equal the dense reference F = Y^T Y, Y = L^{-1} P B^T.
+    y = solve_lower(wl.factor.l, wl.bt.tocsr()[wl.factor.perm].toarray())
+    f_ref = y.T @ y
+    err_base = np.abs(res_base.f - f_ref).max()
+    err_opt = np.abs(res_opt.f - f_ref).max()
+    print(f"\nmax |F - F_ref|: baseline {err_base:.2e}, optimized {err_opt:.2e}")
+    assert err_base < 1e-8 and err_opt < 1e-8
+
+    print("\nsimulated GPU timings (per subdomain):")
+    for name, res in (("baseline [9]", res_base), ("optimized", res_opt)):
+        b = res.breakdown
+        print(
+            f"  {name:13s} total {res.elapsed * 1e3:8.3f} ms  "
+            f"(transfer {b['transfer']*1e3:.3f}, permute {b['permute']*1e3:.3f}, "
+            f"trsm {b['trsm']*1e3:.3f}, syrk {b['syrk']*1e3:.3f})"
+        )
+    print(f"\nGPU-section speedup: {res_base.elapsed / res_opt.elapsed:.2f}x")
+    print(f"stepped density of B^T: {res_opt.shape.density():.3f} "
+          f"(fraction of structurally nonzero entries)")
+
+
+if __name__ == "__main__":
+    main()

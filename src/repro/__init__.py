@@ -1,0 +1,56 @@
+"""repro — sparsity-aware (simulated-)GPU assembly of Schur complements in FETI.
+
+Reproduction of: Homola, Meca, Říha, Brzobohatý, *Utilizing Sparsity in the
+GPU-accelerated Assembly of Schur Complement Matrices in Domain Decomposition
+Methods*, SC 2025 (arXiv:2509.21037).
+
+The most common entry points are re-exported here lazily (so that importing
+``repro`` stays cheap):
+
+* :class:`repro.core.SchurAssembler` — the paper's contribution,
+* :func:`repro.core.default_config` / :func:`repro.core.baseline_config`,
+* :func:`repro.fem.heat_transfer_2d` / :func:`repro.fem.heat_transfer_3d`,
+* :func:`repro.dd.decompose`,
+* :class:`repro.feti.FetiSolver` / :func:`repro.feti.solve_feti`,
+* :func:`repro.bench.make_workload`.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+__version__ = "1.0.0"
+
+_LAZY = {
+    "SchurAssembler": ("repro.core", "SchurAssembler"),
+    "AssemblyConfig": ("repro.core", "AssemblyConfig"),
+    "default_config": ("repro.core", "default_config"),
+    "baseline_config": ("repro.core", "baseline_config"),
+    "heat_transfer_2d": ("repro.fem", "heat_transfer_2d"),
+    "heat_transfer_3d": ("repro.fem", "heat_transfer_3d"),
+    "decompose": ("repro.dd", "decompose"),
+    "FetiSolver": ("repro.feti", "FetiSolver"),
+    "solve_feti": ("repro.feti", "solve_feti"),
+    "make_workload": ("repro.bench", "make_workload"),
+    "cholesky": ("repro.sparse", "cholesky"),
+    "A100_40GB": ("repro.gpu", "A100_40GB"),
+    "EPYC_7763_CORE": ("repro.gpu", "EPYC_7763_CORE"),
+}
+
+__all__ = ["__version__", *_LAZY]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,99 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available experiment drivers.
+``run <experiment> [--paper-scale] [--out DIR]``
+    Run one table/figure reproduction and print (and save) its tables.
+``solve [--dim {2,3}] [--cells N] [--grid PxP..] [--approach NAME]``
+    Solve a heat-transfer problem with FETI and report iterations/timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.bench import EXPERIMENTS
+
+    print("available experiments:")
+    for name, fn in EXPERIMENTS.items():
+        lines = (fn.__doc__ or "").strip().splitlines()
+        print(f"  {name:20s} {lines[0] if lines else ''}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.bench import results_dir, run_experiment
+
+    result = run_experiment(args.experiment, quick=not args.paper_scale)
+    print(result.render())
+    path = result.save(args.out or results_dir())
+    print(f"\n[saved to {path}]")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    import numpy as np
+
+    from repro.dd import decompose
+    from repro.fem import heat_transfer_2d, heat_transfer_3d
+    from repro.feti import FetiSolver
+
+    if args.dim == 2:
+        problem = heat_transfer_2d(args.cells, dirichlet=("left",))
+    else:
+        problem = heat_transfer_3d(args.cells, dirichlet=("left",))
+    grid = tuple(int(g) for g in args.grid.split("x"))
+    decomposition = decompose(problem, grid=grid)
+    solver = FetiSolver(
+        decomposition,
+        approach=args.approach,
+        expected_iterations=args.expected_iterations,
+    )
+    solver.preprocess()
+    sol = solver.solve()
+    err = float(np.abs(sol.u - problem.solve_direct()).max())
+    t = sol.timings
+    print(f"approach:        {solver.approach.name}")
+    print(f"subdomains:      {decomposition.n_subdomains}")
+    print(f"multipliers:     {decomposition.n_multipliers}")
+    print(f"iterations:      {sol.iterations} (converged={sol.info.converged})")
+    print(f"max error:       {err:.3e}")
+    print(f"prep/subdomain:  {t.preprocessing_per_subdomain * 1e3:.3f} ms (simulated)")
+    print(f"apply/subdomain: {t.apply_mean_per_subdomain * 1e3:.4f} ms (simulated)")
+    return 0 if sol.info.converged else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Schur-complement sparsity reproduction (SC 2025)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment drivers")
+
+    p_run = sub.add_parser("run", help="run one table/figure reproduction")
+    p_run.add_argument("experiment", help="table1, fig05..fig10, ablation_*, elasticity")
+    p_run.add_argument("--paper-scale", action="store_true", help="full size ladders")
+    p_run.add_argument("--out", default=None, help="results directory")
+
+    p_solve = sub.add_parser("solve", help="FETI-solve a heat-transfer problem")
+    p_solve.add_argument("--dim", type=int, default=2, choices=(2, 3))
+    p_solve.add_argument("--cells", type=int, default=24, help="mesh cells per axis")
+    p_solve.add_argument("--grid", default="3x3", help="subdomain grid, e.g. 4x4 or 2x2x2")
+    p_solve.add_argument(
+        "--approach", default="auto", help="Table-2 approach name or 'auto'"
+    )
+    p_solve.add_argument("--expected-iterations", type=int, default=100)
+
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "solve": _cmd_solve}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

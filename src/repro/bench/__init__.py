@@ -1,0 +1,44 @@
+"""Benchmark harness: workloads, experiment drivers, result reporting."""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_fig9,
+    experiment_fig10,
+    experiment_table1,
+    run_experiment,
+)
+from repro.bench.report import ExperimentResult, results_dir
+from repro.bench.workloads import (
+    PAPER_DOFS_2D,
+    PAPER_DOFS_3D,
+    KernelWorkload,
+    cells_for_dofs,
+    clear_workload_cache,
+    make_workload,
+    size_ladder,
+)
+
+__all__ = [
+    "run_experiment",
+    "EXPERIMENTS",
+    "experiment_table1",
+    "experiment_fig5",
+    "experiment_fig6",
+    "experiment_fig7",
+    "experiment_fig8",
+    "experiment_fig9",
+    "experiment_fig10",
+    "ExperimentResult",
+    "results_dir",
+    "KernelWorkload",
+    "make_workload",
+    "cells_for_dofs",
+    "size_ladder",
+    "clear_workload_cache",
+    "PAPER_DOFS_2D",
+    "PAPER_DOFS_3D",
+]

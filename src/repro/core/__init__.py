@@ -1,0 +1,72 @@
+"""The paper's contribution: sparsity-aware Schur-complement assembly.
+
+Stepped-shape column permutation of ``B̃^T``, split TRSM variants (RHS /
+factor splitting with pruning), split SYRK variants (input / output
+splitting), and the :class:`SchurAssembler` orchestrating them on a
+simulated CPU or GPU.
+"""
+
+from repro.core.assembler import MemoryEstimate, SchurAssembler, SchurAssemblyResult
+from repro.core.blocks import BLOCK_MODES, BlockSpec, by_count, by_size
+from repro.core.config import (
+    SYRK_VARIANTS,
+    TABLE1_OPTIMA,
+    TRSM_VARIANTS,
+    AssemblyConfig,
+    baseline_config,
+    default_config,
+)
+from repro.core.stepped import (
+    SteppedShape,
+    check_zeros_above_pivots,
+    column_pivots,
+    is_stepped,
+    row_trails,
+    stepped_permutation,
+)
+from repro.core.syrk_split import syrk_input_split, syrk_orig, syrk_output_split
+from repro.core.trsm_split import (
+    FACTOR_STORAGES,
+    trsm_factor_split,
+    trsm_orig,
+    trsm_rhs_split,
+)
+from repro.core.tuning import (
+    SweepPoint,
+    best_point,
+    sweep_block_parameter,
+    tune_block_parameter,
+)
+
+__all__ = [
+    "SchurAssembler",
+    "SchurAssemblyResult",
+    "MemoryEstimate",
+    "AssemblyConfig",
+    "default_config",
+    "baseline_config",
+    "TABLE1_OPTIMA",
+    "TRSM_VARIANTS",
+    "SYRK_VARIANTS",
+    "BlockSpec",
+    "by_size",
+    "by_count",
+    "BLOCK_MODES",
+    "SteppedShape",
+    "column_pivots",
+    "row_trails",
+    "stepped_permutation",
+    "is_stepped",
+    "check_zeros_above_pivots",
+    "trsm_orig",
+    "trsm_rhs_split",
+    "trsm_factor_split",
+    "FACTOR_STORAGES",
+    "syrk_orig",
+    "syrk_input_split",
+    "syrk_output_split",
+    "SweepPoint",
+    "sweep_block_parameter",
+    "best_point",
+    "tune_block_parameter",
+]

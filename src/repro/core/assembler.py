@@ -1,0 +1,220 @@
+"""The Schur-complement assembler — the paper's end-to-end algorithm.
+
+Given a Cholesky factor ``L`` of the regularized subdomain matrix and the
+transposed gluing matrix ``B̃^T``, assembles the local dual operator
+
+    ``F̃ = B̃ L^{-T} L^{-1} B̃^T = (L^{-1} B̃^T)^T (L^{-1} B̃^T) = Y^T Y``
+
+(eq. 14) with the configured TRSM/SYRK variants:
+
+1. permute the columns of ``B̃^T`` into the stepped shape (§3),
+2. (GPU) transfer the factor and the dense RHS to the device,
+3. TRSM (orig / RHS-split / factor-split + pruning),
+4. SYRK (orig / input-split / output-split),
+5. permute the result back to the original multiplier order.
+
+Numerics are exact; time is simulated on the executor's device roofline
+plus the PCIe transfer model.  A breakdown per stage is returned so the
+benchmarks can reproduce the paper's per-kernel and whole-assembly figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.config import AssemblyConfig, default_config
+from repro.core.stepped import SteppedShape, stepped_permutation
+from repro.core.syrk_split import syrk_input_split, syrk_orig, syrk_output_split
+from repro.core.trsm_split import trsm_factor_split, trsm_orig, trsm_rhs_split
+from repro.gpu.costmodel import FLOAT64_BYTES, csx_bytes, dense_bytes
+from repro.gpu.runtime import Executor
+from repro.gpu.spec import A100_40GB, EPYC_7763_CORE, PCIE4_X16, DeviceSpec, TransferSpec
+from repro.sparse.cholesky import CholeskyFactor
+from repro.util import require
+
+
+@dataclass
+class SchurAssemblyResult:
+    """Assembled local dual operator plus simulated-time accounting.
+
+    ``f`` is in the *original* multiplier ordering of ``bt``'s columns.
+    ``breakdown`` has the simulated seconds per stage: ``transfer``,
+    ``permute``, ``trsm``, ``syrk``; ``elapsed`` is their sum.
+    """
+
+    f: np.ndarray
+    elapsed: float
+    breakdown: dict[str, float]
+    shape: SteppedShape
+    col_perm: np.ndarray
+    y: np.ndarray | None = None
+
+    @property
+    def n_multipliers(self) -> int:
+        return self.f.shape[0]
+
+
+@dataclass
+class MemoryEstimate:
+    """Device bytes an assembly needs (for the pipeline's memory pool)."""
+
+    persistent: float  # the SC itself, kept for the iterative solver
+    temporary: float  # factor copy + dense RHS, freed after assembly
+
+
+class SchurAssembler:
+    """Assembles explicit Schur complements on a simulated device.
+
+    Parameters
+    ----------
+    config:
+        Kernel variants and block parameters; defaults to the paper's tuned
+        GPU/3D configuration.
+    spec:
+        Device roofline; :data:`~repro.gpu.spec.A100_40GB` or
+        :data:`~repro.gpu.spec.EPYC_7763_CORE`.
+    transfer:
+        Host<->device link; ``None`` (CPU execution) disables transfer
+        charges.
+    """
+
+    def __init__(
+        self,
+        config: AssemblyConfig | None = None,
+        spec: DeviceSpec = A100_40GB,
+        transfer: TransferSpec | None = PCIE4_X16,
+    ) -> None:
+        self.config = config if config is not None else default_config("gpu", 3)
+        self.spec = spec
+        self.transfer = transfer if spec.kind == "gpu" else None
+
+    @classmethod
+    def for_cpu(cls, config: AssemblyConfig | None = None) -> "SchurAssembler":
+        return cls(
+            config=config if config is not None else default_config("cpu", 3),
+            spec=EPYC_7763_CORE,
+            transfer=None,
+        )
+
+    def estimate_memory(self, factor: CholeskyFactor, n_multipliers: int) -> MemoryEstimate:
+        """Device-memory footprint of assembling one subdomain."""
+        persistent = n_multipliers * n_multipliers * FLOAT64_BYTES
+        temporary = csx_bytes(factor.nnz, factor.n) + dense_bytes(
+            (factor.n, n_multipliers)
+        )
+        if self.config.factor_storage == "dense":
+            temporary += dense_bytes((factor.n, factor.n))
+        return MemoryEstimate(persistent=persistent, temporary=temporary)
+
+    def estimate(self, factor: CholeskyFactor, bt: sp.spmatrix) -> dict[str, float]:
+        """Price the assembly without executing it (pattern-only dry run).
+
+        Returns the same per-stage breakdown as :meth:`assemble` plus a
+        ``"total"`` key; see :mod:`repro.core.estimate`.  Used by the
+        benchmark sweeps at subdomain sizes where executing the numerics in
+        pure Python would be infeasible.
+        """
+        from repro.core.estimate import estimate_assembly
+
+        return estimate_assembly(factor, bt, self.config, self.spec, self.transfer)
+
+    def assemble(
+        self,
+        factor: CholeskyFactor,
+        bt: sp.spmatrix,
+        executor: Executor | None = None,
+        keep_y: bool = False,
+    ) -> SchurAssemblyResult:
+        """Assemble ``F = B K_reg^{-1} B^T`` for one subdomain.
+
+        Parameters
+        ----------
+        factor:
+            Cholesky factorization of the regularized subdomain matrix.
+        bt:
+            Sparse ``B̃^T`` (n x m) in the *original* DOF and multiplier
+            ordering — the assembler applies the factor's row permutation
+            and the stepped column permutation internally.
+        executor:
+            Optional shared executor (accumulates across subdomains);
+            a fresh one is created otherwise.
+        keep_y:
+            Keep the intermediate ``Y = L^{-1} B̃^T`` in the result (tests).
+        """
+        require(sp.issparse(bt), "bt must be sparse")
+        n = factor.n
+        require(bt.shape[0] == n, f"bt has {bt.shape[0]} rows, factor order is {n}")
+        m = bt.shape[1]
+        cfg = self.config
+        ex = executor if executor is not None else Executor(self.spec)
+        breakdown = {"transfer": 0.0, "permute": 0.0, "trsm": 0.0, "syrk": 0.0}
+        mark = ex.elapsed
+
+        # --- stepped permutation (host side) --------------------------------
+        bt_rows = bt.tocsr()[factor.perm].tocsc()
+        if cfg.use_stepped_permutation:
+            col_perm, shape = stepped_permutation(bt_rows)
+        else:
+            col_perm = np.arange(m, dtype=np.intp)
+            shape = SteppedShape(n_rows=n, pivots=np.zeros(m, dtype=np.intp))
+        x = np.asarray(bt_rows[:, col_perm].todense(), dtype=np.float64)
+        # The column permutation + densification is a memory-traffic op.
+        ex.charge_bytes(2.0 * x.size * FLOAT64_BYTES)
+        breakdown["permute"] += ex.elapsed - mark
+        mark = ex.elapsed
+
+        # --- transfers (GPU only) -------------------------------------------
+        if self.transfer is not None:
+            h2d_bytes = csx_bytes(factor.nnz, n) + dense_bytes((n, m))
+            breakdown["transfer"] += self.transfer.time(h2d_bytes)
+
+        # --- TRSM -------------------------------------------------------------
+        if cfg.trsm_variant == "orig":
+            trsm_orig(ex, factor.l, x, storage=cfg.factor_storage)
+        elif cfg.trsm_variant == "rhs_split":
+            trsm_rhs_split(
+                ex, factor.l, x, shape, cfg.trsm_blocks, storage=cfg.factor_storage
+            )
+        else:
+            trsm_factor_split(
+                ex,
+                factor.l,
+                x,
+                shape,
+                cfg.trsm_blocks,
+                storage=cfg.factor_storage,
+                prune=cfg.prune,
+            )
+        breakdown["trsm"] += ex.elapsed - mark
+        mark = ex.elapsed
+
+        # --- SYRK -------------------------------------------------------------
+        f_perm = np.zeros((m, m))
+        if cfg.syrk_variant == "orig":
+            syrk_orig(ex, x, f_perm)
+        elif cfg.syrk_variant == "input_split":
+            syrk_input_split(ex, x, f_perm, shape, cfg.syrk_blocks)
+        else:
+            syrk_output_split(ex, x, f_perm, shape, cfg.syrk_blocks)
+        breakdown["syrk"] += ex.elapsed - mark
+        mark = ex.elapsed
+
+        # --- permute the SC back to the original multiplier order ------------
+        f = ex.symmetric_permute(f_perm, col_perm, inverse=True)
+        breakdown["permute"] += ex.elapsed - mark
+
+        elapsed = sum(breakdown.values())
+        return SchurAssemblyResult(
+            f=f,
+            elapsed=elapsed,
+            breakdown=breakdown,
+            shape=shape,
+            col_perm=col_perm,
+            y=x if keep_y else None,
+        )
+
+
+__all__ = ["SchurAssembler", "SchurAssemblyResult", "MemoryEstimate"]

@@ -1,0 +1,144 @@
+"""The stepped shape: column pivots, row trails, and the column permutation.
+
+§3 of the paper: the columns of ``B̃^T`` (rows already ordered by the
+fill-reducing permutation of ``K``) are permuted so that *column pivots*
+(first nonzero of each column) descend left to right and *row trails* (last
+nonzero of each row) move right going down — an approximately lower
+triangular, **stepped** matrix.  Rows are never permuted: that would fight
+the fill-reducing ordering of the factor.
+
+All optimized TRSM/SYRK variants consume a :class:`SteppedShape`, which
+captures exactly the structural zeros that forward substitution preserves
+("zeros above the column pivots are preserved").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util import require
+
+
+@dataclass(frozen=True)
+class SteppedShape:
+    """Structural description of a stepped ``(n_rows x m)`` dense matrix.
+
+    ``pivots[j]`` is the row of the first (potential) nonzero of column *j*;
+    rows above it are structurally zero and remain so through forward
+    substitution.  Pivots are ascending; ``pivots[j] == n_rows`` marks an
+    entirely-zero column.
+    """
+
+    n_rows: int
+    pivots: np.ndarray
+
+    def __post_init__(self) -> None:
+        require(self.n_rows >= 0, "n_rows must be >= 0")
+        p = np.asarray(self.pivots)
+        require(p.ndim == 1, "pivots must be 1-D")
+        require(bool(np.all(np.diff(p) >= 0)), "pivots must be ascending (stepped)")
+        if p.size:
+            require(
+                0 <= p[0] and p[-1] <= self.n_rows,
+                "pivots must lie in [0, n_rows]",
+            )
+
+    @property
+    def n_cols(self) -> int:
+        return int(np.asarray(self.pivots).size)
+
+    def width_below(self, row: int) -> int:
+        """Number of columns with a pivot strictly above *row* (i.e. the
+        nonzero width of rows ``< row`` — the ``w`` of factor splitting)."""
+        return int(np.searchsorted(self.pivots, row, side="left"))
+
+    def first_pivot(self, col_start: int) -> int:
+        """Topmost pivot among columns ``>= col_start`` (they are sorted)."""
+        require(0 <= col_start <= self.n_cols, "col_start out of range")
+        if col_start == self.n_cols:
+            return self.n_rows
+        return int(self.pivots[col_start])
+
+    def density(self) -> float:
+        """Fraction of structurally nonzero entries (1.0 = fully dense)."""
+        if self.n_rows == 0 or self.n_cols == 0:
+            return 1.0
+        nz = float(np.sum(self.n_rows - self.pivots))
+        return nz / (self.n_rows * self.n_cols)
+
+
+def column_pivots(bt: sp.spmatrix) -> np.ndarray:
+    """First nonzero row index of each column (``n_rows`` for empty columns)."""
+    require(sp.issparse(bt), "bt must be sparse")
+    btc = bt.tocsc()
+    n, m = btc.shape
+    pivots = np.full(m, n, dtype=np.intp)
+    for j in range(m):
+        start, end = btc.indptr[j], btc.indptr[j + 1]
+        if end > start:
+            pivots[j] = btc.indices[start:end].min()
+    return pivots
+
+
+def row_trails(bt: sp.spmatrix) -> np.ndarray:
+    """Last nonzero column index of each row (``-1`` for empty rows)."""
+    require(sp.issparse(bt), "bt must be sparse")
+    btr = bt.tocsr()
+    n = btr.shape[0]
+    trails = np.full(n, -1, dtype=np.intp)
+    for i in range(n):
+        start, end = btr.indptr[i], btr.indptr[i + 1]
+        if end > start:
+            trails[i] = btr.indices[start:end].max()
+    return trails
+
+
+def stepped_permutation(bt: sp.spmatrix) -> tuple[np.ndarray, SteppedShape]:
+    """Column permutation bringing *bt* to the stepped shape.
+
+    Returns ``(col_perm, shape)`` such that ``bt[:, col_perm]`` has ascending
+    column pivots; *shape* describes the permuted matrix.
+    """
+    pivots = column_pivots(bt)
+    col_perm = np.argsort(pivots, kind="stable").astype(np.intp)
+    return col_perm, SteppedShape(n_rows=bt.shape[0], pivots=pivots[col_perm])
+
+
+def is_stepped(bt: sp.spmatrix | np.ndarray, tol: float = 0.0) -> bool:
+    """Check that column pivots are non-decreasing left to right."""
+    if sp.issparse(bt):
+        pivots = column_pivots(bt)
+    else:
+        dense = np.asarray(bt)
+        n, m = dense.shape
+        pivots = np.full(m, n, dtype=np.intp)
+        for j in range(m):
+            nz = np.flatnonzero(np.abs(dense[:, j]) > tol)
+            if nz.size:
+                pivots[j] = nz[0]
+    return bool(np.all(np.diff(pivots) >= 0))
+
+
+def check_zeros_above_pivots(
+    x: np.ndarray, shape: SteppedShape, tol: float = 0.0
+) -> bool:
+    """Verify the invariant that entries above the pivots stay (numerically)
+    zero — used by tests to validate every optimized kernel."""
+    require(x.shape == (shape.n_rows, shape.n_cols), "shape mismatch")
+    for j, p in enumerate(shape.pivots):
+        if p > 0 and np.abs(x[:p, j]).max(initial=0.0) > tol:
+            return False
+    return True
+
+
+__all__ = [
+    "SteppedShape",
+    "column_pivots",
+    "row_trails",
+    "stepped_permutation",
+    "is_stepped",
+    "check_zeros_above_pivots",
+]

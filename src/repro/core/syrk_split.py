@@ -1,0 +1,94 @@
+"""Sparsity-aware SYRK variants (§3.3 of the paper).
+
+Computes ``F = Y^T Y`` for the stepped dense matrix ``Y`` produced by the
+TRSM stage, skipping the structural zeros above the column pivots:
+
+* :func:`syrk_orig` — baseline: one full-size SYRK.
+* :func:`syrk_input_split` — partition the *k* loop (block rows of ``Y``,
+  Fig. 4a): each block row only has nonzeros in its first ``w`` columns, so
+  the inner SYRK updates only the top-left ``w x w`` submatrix of ``F``.
+* :func:`syrk_output_split` — partition the output into block rows
+  (Fig. 4b): the diagonal block comes from an inner SYRK over the matching
+  input block column, the off-diagonal strip from a GEMM; both can start
+  their *k* range at the block's topmost pivot.
+
+All variants produce the *full* symmetric ``F`` numerically (BLAS would fill
+one triangle; mirroring is free in the cost model, matching the library
+behaviour of handling symmetric matrices by reference to one triangle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import BlockSpec
+from repro.core.stepped import SteppedShape
+from repro.gpu.runtime import Executor
+from repro.util import require
+
+
+def syrk_orig(ex: Executor, y: np.ndarray, f: np.ndarray) -> None:
+    """Baseline SYRK of [9]: one full-size update, no sparsity use."""
+    _check(y, f)
+    ex.syrk(y, f, beta=0.0)
+
+
+def syrk_input_split(
+    ex: Executor,
+    y: np.ndarray,
+    f: np.ndarray,
+    shape: SteppedShape,
+    blocks: BlockSpec,
+) -> None:
+    """Input-splitting SYRK (Fig. 4a): split the *k* dimension."""
+    _check(y, f, shape)
+    f[...] = 0.0
+    for k0, k1 in blocks.resolve(shape.n_rows):
+        w = shape.width_below(k1)
+        if w == 0:
+            continue  # block row is entirely structurally zero
+        ex.syrk(y[k0:k1, :w], f[:w, :w], beta=1.0)
+
+
+def syrk_output_split(
+    ex: Executor,
+    y: np.ndarray,
+    f: np.ndarray,
+    shape: SteppedShape,
+    blocks: BlockSpec,
+) -> None:
+    """Output-splitting SYRK (Fig. 4b): split the output block rows."""
+    _check(y, f, shape)
+    n = shape.n_rows
+    f[...] = 0.0
+    for c0, c1 in blocks.resolve(shape.n_cols):
+        k0 = shape.first_pivot(c0)
+        if k0 >= n:
+            continue  # all-zero input columns contribute nothing
+        # Diagonal block from an inner SYRK over the block column.
+        ex.syrk(y[k0:, c0:c1], f[c0:c1, c0:c1], beta=0.0)
+        if c0 > 0:
+            # Off-diagonal strip: C_B = C^T B in the paper's notation.
+            ex.gemm(
+                y[k0:, c0:c1],
+                y[k0:, :c0],
+                f[c0:c1, :c0],
+                beta=0.0,
+                trans_a=True,
+            )
+            # Mirror into the upper triangle (free: BLAS keeps one triangle).
+            f[:c0, c0:c1] = f[c0:c1, :c0].T
+
+
+def _check(y: np.ndarray, f: np.ndarray, shape: SteppedShape | None = None) -> None:
+    require(y.ndim == 2, "Y must be 2-D")
+    m = y.shape[1]
+    require(f.shape == (m, m), f"F must be ({m}, {m})")
+    if shape is not None:
+        require(
+            y.shape == (shape.n_rows, shape.n_cols),
+            "Y does not match the stepped shape",
+        )
+
+
+__all__ = ["syrk_orig", "syrk_input_split", "syrk_output_split"]

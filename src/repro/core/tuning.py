@@ -1,0 +1,89 @@
+"""Hyperparameter sweeps for the split kernels (Table 1 / Figure 5).
+
+The block size (or count) trades (a) work saved by skipping zeros against
+(b) the overhead of many small kernel launches (§4.1).  These helpers sweep
+a parameter grid on a given workload, report simulated assembly times, and
+pick the optimum — the machinery behind the Table 1 and Figure 5 benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import scipy.sparse as sp
+
+from repro.core.assembler import SchurAssembler
+from repro.core.blocks import BlockSpec, by_count, by_size
+from repro.core.config import AssemblyConfig
+from repro.gpu.spec import DeviceSpec
+from repro.sparse.cholesky import CholeskyFactor
+from repro.util import require
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated parameter setting."""
+
+    spec: BlockSpec
+    elapsed: float
+    breakdown: dict[str, float]
+
+
+def sweep_block_parameter(
+    factor: CholeskyFactor,
+    bt: sp.spmatrix,
+    base_config: AssemblyConfig,
+    device_spec: DeviceSpec,
+    values: list[int],
+    mode: str = "size",
+    target: str = "trsm",
+) -> list[SweepPoint]:
+    """Assemble the SC once per parameter value, returning simulated times.
+
+    Parameters
+    ----------
+    target:
+        ``"trsm"``, ``"syrk"`` or ``"both"`` — which stage's block parameter
+        to vary (``"both"`` sets them equal, as Figure 5 does).
+    """
+    require(target in ("trsm", "syrk", "both"), f"unknown target {target!r}")
+    require(mode in ("size", "count"), f"unknown mode {mode!r}")
+    points: list[SweepPoint] = []
+    for v in values:
+        spec = by_size(v) if mode == "size" else by_count(v)
+        overrides = {}
+        if target in ("trsm", "both"):
+            overrides["trsm_blocks"] = spec
+        if target in ("syrk", "both"):
+            overrides["syrk_blocks"] = spec
+        cfg = base_config.with_overrides(**overrides)
+        assembler = SchurAssembler(config=cfg, spec=device_spec)
+        result = assembler.assemble(factor, bt)
+        points.append(SweepPoint(spec=spec, elapsed=result.elapsed, breakdown=result.breakdown))
+    return points
+
+
+def best_point(points: list[SweepPoint]) -> SweepPoint:
+    """The sweep point with the lowest simulated time."""
+    require(len(points) > 0, "empty sweep")
+    return min(points, key=lambda p: p.elapsed)
+
+
+def tune_block_parameter(
+    factor: CholeskyFactor,
+    bt: sp.spmatrix,
+    base_config: AssemblyConfig,
+    device_spec: DeviceSpec,
+    values: list[int],
+    mode: str = "size",
+    target: str = "trsm",
+) -> BlockSpec:
+    """Sweep and return the best block specification."""
+    return best_point(
+        sweep_block_parameter(
+            factor, bt, base_config, device_spec, values, mode=mode, target=target
+        )
+    ).spec
+
+
+__all__ = ["SweepPoint", "sweep_block_parameter", "best_point", "tune_block_parameter"]

@@ -1,0 +1,21 @@
+"""Domain decomposition substrate: partitioning, subdomains, gluing, clusters."""
+
+from repro.dd.cluster import Cluster, make_clusters
+from repro.dd.decomposition import Decomposition, decompose
+from repro.dd.interface import GLUING_METHODS, build_interface, check_gluing_consistency
+from repro.dd.partition import partition_elements, subdomain_grid_for
+from repro.dd.subdomain import Subdomain, build_subdomain
+
+__all__ = [
+    "decompose",
+    "Decomposition",
+    "Subdomain",
+    "build_subdomain",
+    "build_interface",
+    "check_gluing_consistency",
+    "GLUING_METHODS",
+    "partition_elements",
+    "subdomain_grid_for",
+    "Cluster",
+    "make_clusters",
+]

@@ -1,0 +1,42 @@
+"""Clusters of subdomains — the process/thread mapping of §2.2.
+
+Each *cluster* is handled by one (simulated) process bound to one NUMA
+domain and one GPU; subdomains within a cluster are processed by OpenMP
+threads.  The paper uses "number of subdomains per cluster [as] an integer
+multiple of the number of threads"; :func:`make_clusters` keeps clusters
+balanced the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import require
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A group of subdomains mapped to one process / GPU."""
+
+    index: int
+    subdomain_ids: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return self.subdomain_ids.size
+
+
+def make_clusters(n_subdomains: int, n_clusters: int) -> list[Cluster]:
+    """Split ``range(n_subdomains)`` into contiguous balanced clusters."""
+    require(n_subdomains >= 1, "n_subdomains must be >= 1")
+    require(1 <= n_clusters <= n_subdomains, "need 1 <= n_clusters <= n_subdomains")
+    bounds = np.linspace(0, n_subdomains, n_clusters + 1).astype(np.intp)
+    return [
+        Cluster(index=i, subdomain_ids=np.arange(bounds[i], bounds[i + 1]))
+        for i in range(n_clusters)
+    ]
+
+
+__all__ = ["Cluster", "make_clusters"]

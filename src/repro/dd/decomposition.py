@@ -1,0 +1,118 @@
+"""Top-level decomposition of a heat-transfer problem into FETI subdomains."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dd.cluster import Cluster, make_clusters
+from repro.dd.interface import build_interface, check_gluing_consistency
+from repro.dd.partition import partition_elements, subdomain_grid_for
+from repro.dd.subdomain import Subdomain, build_subdomain
+from repro.fem.heat_transfer import HeatProblem
+from repro.util import require
+
+
+@dataclass
+class Decomposition:
+    """A problem torn into subdomains with gluing constraints.
+
+    The decomposed system is the block system (2) of the paper:
+    block-diagonal ``K`` of the local ``K_i``, gluing ``B`` with
+    ``n_multipliers`` rows, and constraint right-hand side ``c = 0``
+    (continuity with homogeneous Dirichlet data).
+    """
+
+    problem: HeatProblem
+    subdomains: list[Subdomain]
+    n_multipliers: int
+    clusters: list[Cluster]
+    gluing: str
+
+    @property
+    def n_subdomains(self) -> int:
+        return len(self.subdomains)
+
+    def gather_dual(self, local_contribs: list[np.ndarray]) -> np.ndarray:
+        """Sum per-subdomain dual contributions into a global dual vector."""
+        out = np.zeros(self.n_multipliers)
+        for sub, contrib in zip(self.subdomains, local_contribs):
+            out[sub.multiplier_ids] += contrib
+        return out
+
+    def scatter_dual(self, lam: np.ndarray) -> list[np.ndarray]:
+        """Restrict a global dual vector to each subdomain's multipliers."""
+        return [lam[sub.multiplier_ids] for sub in self.subdomains]
+
+    def expand_solution(self, u_locals: list[np.ndarray]) -> np.ndarray:
+        """Assemble a global nodal field from per-subdomain solutions.
+
+        Shared nodes are averaged — after FETI convergence the copies agree
+        up to solver tolerance, so averaging is a no-op within tolerance.
+        """
+        n = self.problem.n_dofs
+        acc = np.zeros(n)
+        cnt = np.zeros(n)
+        for sub, u in zip(self.subdomains, u_locals):
+            acc[sub.free_nodes] += u
+            cnt[sub.free_nodes] += 1.0
+        out = np.zeros(n)
+        nz = cnt > 0
+        out[nz] = acc[nz] / cnt[nz]
+        return out
+
+    def check_consistency(self) -> bool:
+        """Validate the gluing against a continuous test field."""
+        return check_gluing_consistency(self.subdomains, self.n_multipliers)
+
+
+def decompose(
+    problem: HeatProblem,
+    grid: tuple[int, ...] | None = None,
+    n_subdomains: int | None = None,
+    n_clusters: int = 1,
+    gluing: str = "redundant",
+) -> Decomposition:
+    """Tear *problem* into box subdomains with Lagrange-multiplier gluing.
+
+    Exactly one of *grid* / *n_subdomains* must be given.  Empty subdomains
+    (possible when the grid is finer than the mesh) are dropped.
+    """
+    require(
+        (grid is None) != (n_subdomains is None),
+        "specify exactly one of grid= or n_subdomains=",
+    )
+    mesh = problem.mesh
+    if grid is None:
+        grid = subdomain_grid_for(n_subdomains, mesh.dim)
+    element_owner = partition_elements(mesh, grid)
+
+    subdomains: list[Subdomain] = []
+    for sub_id in range(int(element_owner.max()) + 1 if element_owner.size else 0):
+        element_ids = np.flatnonzero(element_owner == sub_id)
+        if element_ids.size == 0:
+            continue
+        subdomains.append(
+            build_subdomain(
+                mesh,
+                index=len(subdomains),
+                element_ids=element_ids,
+                dirichlet_nodes=problem.dirichlet_nodes,
+                conductivity=problem.conductivity,
+            )
+        )
+    require(len(subdomains) >= 1, "decomposition produced no subdomains")
+
+    n_multipliers = build_interface(subdomains, mesh.n_nodes, gluing=gluing)
+    clusters = make_clusters(len(subdomains), min(n_clusters, len(subdomains)))
+    return Decomposition(
+        problem=problem,
+        subdomains=subdomains,
+        n_multipliers=n_multipliers,
+        clusters=clusters,
+        gluing=gluing,
+    )
+
+
+__all__ = ["Decomposition", "decompose"]

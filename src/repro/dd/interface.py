@@ -1,0 +1,103 @@
+"""Lagrange-multiplier gluing across subdomain interfaces.
+
+Every free mesh node shared by several subdomains generates equality
+constraints forcing the duplicated DOFs to coincide.  Two standard gluing
+strategies are provided:
+
+* ``"redundant"`` (default, what TFETI implementations such as ESPRESO use)
+  — one multiplier per *pair* of subdomains sharing the node;
+* ``"chain"`` — multipliers only between consecutive subdomains (a minimal,
+  non-redundant set).
+
+The builder fills ``subdomain.bt`` (the ``B_i^T`` of the paper, §2.1) and
+returns the total number of multipliers.  Signs follow the convention
+``+1`` on the lower-indexed subdomain, ``-1`` on the higher one.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.dd.subdomain import Subdomain
+from repro.util import require
+
+GLUING_METHODS = ("redundant", "chain")
+
+
+def build_interface(
+    subdomains: list[Subdomain],
+    n_mesh_nodes: int,
+    gluing: str = "redundant",
+) -> int:
+    """Create the gluing matrices ``B_i^T`` for all *subdomains* in place.
+
+    Returns the total number of Lagrange multipliers (rows of the global
+    ``B``).
+    """
+    require(gluing in GLUING_METHODS, f"unknown gluing method {gluing!r}")
+
+    # node -> [(subdomain position in list, local dof)] over free DOFs.
+    owners: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    for pos, sub in enumerate(subdomains):
+        for local, node in enumerate(sub.free_nodes):
+            owners[int(node)].append((pos, local))
+
+    # Per-subdomain COO triplets of B_i^T (row = local dof, col = local
+    # multiplier index) plus the global multiplier id of each column.
+    rows: list[list[int]] = [[] for _ in subdomains]
+    cols: list[list[int]] = [[] for _ in subdomains]
+    vals: list[list[float]] = [[] for _ in subdomains]
+    mult_ids: list[list[int]] = [[] for _ in subdomains]
+    next_multiplier = 0
+
+    for node in sorted(owners):
+        sharers = owners[node]
+        if len(sharers) < 2:
+            continue
+        sharers = sorted(sharers)  # deterministic: by subdomain position
+        if gluing == "chain":
+            pairs = list(zip(sharers[:-1], sharers[1:]))
+        else:
+            pairs = [
+                (sharers[a], sharers[b])
+                for a in range(len(sharers))
+                for b in range(a + 1, len(sharers))
+            ]
+        for (pos_a, loc_a), (pos_b, loc_b) in pairs:
+            for pos, loc, val in ((pos_a, loc_a, 1.0), (pos_b, loc_b, -1.0)):
+                rows[pos].append(loc)
+                cols[pos].append(len(mult_ids[pos]))
+                vals[pos].append(val)
+                mult_ids[pos].append(next_multiplier)
+            next_multiplier += 1
+
+    for pos, sub in enumerate(subdomains):
+        m_i = len(mult_ids[pos])
+        sub.bt = sp.csc_matrix(
+            (vals[pos], (rows[pos], cols[pos])), shape=(sub.n_dofs, m_i)
+        )
+        sub.multiplier_ids = np.asarray(mult_ids[pos], dtype=np.intp)
+    return next_multiplier
+
+
+def check_gluing_consistency(
+    subdomains: list[Subdomain], n_multipliers: int, tol: float = 1e-12
+) -> bool:
+    """Verify that ``sum_i B_i u_i == 0`` for any *continuous* field.
+
+    Uses the global node index itself as the test field — a field that is
+    single-valued per mesh node must satisfy all gluing constraints.
+    """
+    total = np.zeros(n_multipliers)
+    for sub in subdomains:
+        if sub.bt is None:
+            raise ValueError("interface not built yet")
+        u = sub.free_nodes.astype(np.float64)
+        total[sub.multiplier_ids] += sub.bt.T @ u
+    return bool(np.abs(total).max() <= tol) if n_multipliers else True
+
+
+__all__ = ["build_interface", "check_gluing_consistency", "GLUING_METHODS"]

@@ -1,0 +1,110 @@
+"""Global sparse assembly of P1 systems (vectorized COO scatter)."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.element import p1_load, p1_stiffness
+from repro.fem.mesh import Mesh
+from repro.util import require
+
+
+def assemble_stiffness(
+    mesh: Mesh,
+    conductivity: float | np.ndarray = 1.0,
+    nodes: np.ndarray | None = None,
+    elements: np.ndarray | None = None,
+) -> sp.csr_matrix:
+    """Assemble the global (or subdomain-local) stiffness matrix.
+
+    Parameters
+    ----------
+    mesh:
+        The mesh providing coordinates and connectivity.
+    conductivity:
+        Scalar or per-element diffusion coefficient.
+    nodes:
+        When given, assemble in the *local* numbering of this node subset
+        (used by :mod:`repro.dd.subdomain`); *elements* must then also be
+        given and reference only these nodes.
+    elements:
+        Element subset (indices into ``mesh.elements``) to assemble.
+    """
+    el = mesh.elements if elements is None else mesh.elements[elements]
+    if isinstance(conductivity, np.ndarray) and elements is not None:
+        conductivity = conductivity[elements]
+    ke = p1_stiffness(mesh.coords, el, conductivity)
+
+    if nodes is None:
+        n = mesh.n_nodes
+        conn = el
+    else:
+        nodes = np.asarray(nodes, dtype=np.intp)
+        n = nodes.size
+        global_to_local = np.full(mesh.n_nodes, -1, dtype=np.intp)
+        global_to_local[nodes] = np.arange(n)
+        conn = global_to_local[el]
+        require(bool((conn >= 0).all()), "elements reference nodes outside subset")
+
+    d1 = conn.shape[1]
+    rows = np.repeat(conn, d1, axis=1).ravel()
+    cols = np.tile(conn, (1, d1)).ravel()
+    k = sp.coo_matrix((ke.ravel(), (rows, cols)), shape=(n, n)).tocsr()
+    k.sum_duplicates()
+    return k
+
+
+def assemble_load(
+    mesh: Mesh,
+    source: float | np.ndarray = 1.0,
+    nodes: np.ndarray | None = None,
+    elements: np.ndarray | None = None,
+) -> np.ndarray:
+    """Assemble the global (or subdomain-local) load vector."""
+    el = mesh.elements if elements is None else mesh.elements[elements]
+    if isinstance(source, np.ndarray) and elements is not None:
+        source = source[elements]
+    fe = p1_load(mesh.coords, el, source)
+
+    if nodes is None:
+        n = mesh.n_nodes
+        conn = el
+    else:
+        nodes = np.asarray(nodes, dtype=np.intp)
+        n = nodes.size
+        global_to_local = np.full(mesh.n_nodes, -1, dtype=np.intp)
+        global_to_local[nodes] = np.arange(n)
+        conn = global_to_local[el]
+        require(bool((conn >= 0).all()), "elements reference nodes outside subset")
+
+    f = np.zeros(n)
+    np.add.at(f, conn.ravel(), fe.ravel())
+    return f
+
+
+def eliminate_dirichlet(
+    k: sp.csr_matrix,
+    f: np.ndarray,
+    dirichlet: np.ndarray,
+    values: np.ndarray | float = 0.0,
+) -> tuple[sp.csr_matrix, np.ndarray, np.ndarray]:
+    """Eliminate Dirichlet DOFs by restriction to the free set.
+
+    Returns ``(k_ff, f_f - k_fd @ g, free)`` where *free* are the remaining
+    DOF indices.  Homogeneous by default.
+    """
+    n = k.shape[0]
+    dirichlet = np.asarray(dirichlet, dtype=np.intp)
+    mask = np.ones(n, dtype=bool)
+    mask[dirichlet] = False
+    free = np.flatnonzero(mask)
+    k_ff = sp.csr_matrix(k[free][:, free])
+    rhs = f[free].astype(np.float64, copy=True)
+    g = np.broadcast_to(np.asarray(values, dtype=np.float64), dirichlet.shape)
+    if dirichlet.size and np.any(g != 0.0):
+        rhs -= k[free][:, dirichlet] @ g
+    return k_ff, rhs, free
+
+
+__all__ = ["assemble_stiffness", "assemble_load", "eliminate_dirichlet"]

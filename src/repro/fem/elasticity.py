@@ -1,0 +1,176 @@
+"""Linear elasticity on P1 simplices — the second FETI workload class.
+
+The paper evaluates on scalar heat transfer; FETI's original domain (and the
+reason its kernels are interesting) is elasticity, where floating subdomains
+carry 3 (2-D) or 6 (3-D) rigid-body modes.  This module provides vectorized
+P1 elasticity assembly and the rigid-body-mode kernel bases, exercising the
+multi-dimensional-kernel paths of the regularization, coarse problem and
+Schur assembly.
+
+DOF ordering is interleaved: DOF ``node * dim + component``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.element import p1_gradients
+from repro.fem.mesh import Mesh
+from repro.util import require
+
+
+def elastic_moduli(e: float, nu: float, dim: int) -> np.ndarray:
+    """Isotropic elasticity matrix in Voigt notation (plane strain in 2-D)."""
+    require(e > 0, "Young's modulus must be positive")
+    require(-1.0 < nu < 0.5, "Poisson ratio must be in (-1, 0.5)")
+    lam = e * nu / ((1 + nu) * (1 - 2 * nu))
+    mu = e / (2 * (1 + nu))
+    if dim == 2:
+        return np.array(
+            [
+                [lam + 2 * mu, lam, 0.0],
+                [lam, lam + 2 * mu, 0.0],
+                [0.0, 0.0, mu],
+            ]
+        )
+    if dim == 3:
+        d = np.zeros((6, 6))
+        d[:3, :3] = lam
+        d[np.arange(3), np.arange(3)] = lam + 2 * mu
+        d[np.arange(3, 6), np.arange(3, 6)] = mu
+        return d
+    raise ValueError(f"dim must be 2 or 3, got {dim}")
+
+
+def p1_elasticity_stiffness(
+    coords: np.ndarray,
+    elements: np.ndarray,
+    e: float = 1.0,
+    nu: float = 0.3,
+) -> np.ndarray:
+    """Local elasticity stiffness matrices, vectorized over all elements.
+
+    Returns ``(n_el, (d+1)*d, (d+1)*d)`` with interleaved DOFs per element.
+    """
+    grads, measures = p1_gradients(coords, elements)
+    n_el, nverts, dim = grads.shape
+    d_mat = elastic_moduli(e, nu, dim)
+    n_strain = d_mat.shape[0]
+    ndof = nverts * dim
+
+    # Strain-displacement matrices B: (n_el, n_strain, ndof), Voigt order
+    # 2-D: (exx, eyy, gxy); 3-D: (exx, eyy, ezz, gyz, gxz, gxy).
+    b = np.zeros((n_el, n_strain, ndof))
+    for a in range(nverts):
+        gx = grads[:, a, 0]
+        gy = grads[:, a, 1]
+        cx, cy = dim * a, dim * a + 1
+        if dim == 2:
+            b[:, 0, cx] = gx
+            b[:, 1, cy] = gy
+            b[:, 2, cx] = gy
+            b[:, 2, cy] = gx
+        else:
+            gz = grads[:, a, 2]
+            cz = dim * a + 2
+            b[:, 0, cx] = gx
+            b[:, 1, cy] = gy
+            b[:, 2, cz] = gz
+            b[:, 3, cy] = gz
+            b[:, 3, cz] = gy
+            b[:, 4, cx] = gz
+            b[:, 4, cz] = gx
+            b[:, 5, cx] = gy
+            b[:, 5, cy] = gx
+    ke = np.einsum("esi,st,etj->eij", b, d_mat, b)
+    return measures[:, None, None] * ke
+
+
+def assemble_elasticity(
+    mesh: Mesh,
+    e: float = 1.0,
+    nu: float = 0.3,
+) -> sp.csr_matrix:
+    """Global elasticity stiffness (interleaved DOFs, ``dim * n_nodes``)."""
+    ke = p1_elasticity_stiffness(mesh.coords, mesh.elements, e, nu)
+    dim = mesh.dim
+    conn = mesh.elements
+    nverts = conn.shape[1]
+    # DOF connectivity: (n_el, (d+1)*d).
+    dofs = (conn[:, :, None] * dim + np.arange(dim)[None, None, :]).reshape(
+        conn.shape[0], nverts * dim
+    )
+    ndof_el = nverts * dim
+    rows = np.repeat(dofs, ndof_el, axis=1).ravel()
+    cols = np.tile(dofs, (1, ndof_el)).ravel()
+    n = mesh.n_nodes * dim
+    k = sp.coo_matrix((ke.ravel(), (rows, cols)), shape=(n, n)).tocsr()
+    k.sum_duplicates()
+    return k
+
+
+def assemble_body_force(mesh: Mesh, force: np.ndarray) -> np.ndarray:
+    """Consistent load for a constant body-force vector (e.g. gravity)."""
+    force = np.asarray(force, dtype=np.float64)
+    require(force.shape == (mesh.dim,), f"force must have {mesh.dim} components")
+    _, measures = p1_gradients(mesh.coords, mesh.elements)
+    dim = mesh.dim
+    nverts = mesh.elements.shape[1]
+    f = np.zeros(mesh.n_nodes * dim)
+    contrib = (measures / nverts)[:, None] * np.ones((1, nverts))
+    for c in range(dim):
+        dofs = mesh.elements * dim + c
+        np.add.at(f, dofs.ravel(), (contrib * force[c]).ravel())
+    return f
+
+
+def rigid_body_modes(coords: np.ndarray) -> np.ndarray:
+    """Orthonormal rigid-body-mode basis (kernel of the elastic operator).
+
+    2-D: two translations + one in-plane rotation (3 columns);
+    3-D: three translations + three rotations (6 columns).  Interleaved DOFs.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n, dim = coords.shape
+    require(dim in (2, 3), "coords must be 2-D or 3-D points")
+    centred = coords - coords.mean(axis=0)
+    if dim == 2:
+        modes = np.zeros((2 * n, 3))
+        modes[0::2, 0] = 1.0  # translation x
+        modes[1::2, 1] = 1.0  # translation y
+        modes[0::2, 2] = -centred[:, 1]  # rotation: (-y, x)
+        modes[1::2, 2] = centred[:, 0]
+    else:
+        modes = np.zeros((3 * n, 6))
+        for c in range(3):
+            modes[c::3, c] = 1.0  # translations
+        x, y, z = centred[:, 0], centred[:, 1], centred[:, 2]
+        modes[1::3, 3] = -z  # rotation about x: (0, -z, y)
+        modes[2::3, 3] = y
+        modes[0::3, 4] = z  # rotation about y: (z, 0, -x)
+        modes[2::3, 4] = -x
+        modes[0::3, 5] = -y  # rotation about z: (-y, x, 0)
+        modes[1::3, 5] = x
+    q, _ = np.linalg.qr(modes)
+    return q
+
+
+def boundary_dofs(mesh: Mesh, groups: tuple[str, ...]) -> np.ndarray:
+    """All displacement DOFs on the named boundary groups (interleaved)."""
+    for name in groups:
+        require(name in mesh.boundary_groups, f"unknown boundary group {name!r}")
+    if not groups:
+        return np.empty(0, dtype=np.intp)
+    nodes = np.unique(np.concatenate([mesh.boundary_groups[g] for g in groups]))
+    return (nodes[:, None] * mesh.dim + np.arange(mesh.dim)[None, :]).ravel()
+
+
+__all__ = [
+    "elastic_moduli",
+    "p1_elasticity_stiffness",
+    "assemble_elasticity",
+    "assemble_body_force",
+    "rigid_body_modes",
+    "boundary_dofs",
+]

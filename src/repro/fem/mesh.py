@@ -1,0 +1,165 @@
+"""Structured simplicial meshes of the unit square / unit cube.
+
+The paper's evaluation uses "a square or cube domain uniformly discretized
+into triangles or tetrahedra" (§4).  These generators reproduce that setup:
+
+* 2-D: an ``nx x ny`` grid of cells, each split into two triangles,
+* 3-D: an ``nx x ny x nz`` grid of cells, each split into six tetrahedra
+  (Kuhn subdivision — conforming across cell faces).
+
+Node numbering is lexicographic, which makes structured partitioning into
+subdomains (``repro.dd.partition``) exact and cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util import require
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """A simplicial mesh.
+
+    Attributes
+    ----------
+    coords:
+        ``(n_nodes, dim)`` vertex coordinates.
+    elements:
+        ``(n_elements, dim + 1)`` vertex indices of each simplex.
+    dim:
+        Spatial dimension (2 or 3).
+    grid_shape:
+        Nodes per axis of the generating structured grid.
+    boundary_groups:
+        Named node sets of the domain boundary faces (``"left"``,
+        ``"right"``, ``"bottom"``, ``"top"``, and in 3-D ``"front"``,
+        ``"back"``).
+    """
+
+    coords: np.ndarray
+    elements: np.ndarray
+    dim: int
+    grid_shape: tuple[int, ...]
+    boundary_groups: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def n_elements(self) -> int:
+        return self.elements.shape[0]
+
+    def boundary_nodes(self) -> np.ndarray:
+        """Sorted union of all boundary groups."""
+        if not self.boundary_groups:
+            return np.empty(0, dtype=np.intp)
+        return np.unique(np.concatenate(list(self.boundary_groups.values())))
+
+
+def unit_square_mesh(nx: int, ny: int | None = None) -> Mesh:
+    """Triangulated unit square with ``nx x ny`` cells (two triangles each)."""
+    require(nx >= 1, "nx must be >= 1")
+    ny = nx if ny is None else ny
+    require(ny >= 1, "ny must be >= 1")
+    mx, my = nx + 1, ny + 1  # nodes per axis
+
+    xs = np.linspace(0.0, 1.0, mx)
+    ys = np.linspace(0.0, 1.0, my)
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")  # node id = ix * my + iy
+    coords = np.column_stack([gx.ravel(), gy.ravel()])
+
+    ix, iy = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    n00 = (ix * my + iy).ravel()
+    n10 = ((ix + 1) * my + iy).ravel()
+    n01 = (ix * my + iy + 1).ravel()
+    n11 = ((ix + 1) * my + iy + 1).ravel()
+    lower = np.column_stack([n00, n10, n11])
+    upper = np.column_stack([n00, n11, n01])
+    elements = np.vstack([lower, upper]).astype(np.intp)
+
+    node_ix = np.arange(mx * my) // my
+    node_iy = np.arange(mx * my) % my
+    groups = {
+        "left": np.flatnonzero(node_ix == 0).astype(np.intp),
+        "right": np.flatnonzero(node_ix == nx).astype(np.intp),
+        "bottom": np.flatnonzero(node_iy == 0).astype(np.intp),
+        "top": np.flatnonzero(node_iy == ny).astype(np.intp),
+    }
+    return Mesh(
+        coords=coords,
+        elements=elements,
+        dim=2,
+        grid_shape=(mx, my),
+        boundary_groups=groups,
+    )
+
+
+# The six tetrahedra of the Kuhn subdivision of the unit cube, as chains of
+# vertices along coordinate-increasing paths from (0,0,0) to (1,1,1).
+_KUHN_PATHS = (
+    (0, 1, 3, 7),
+    (0, 1, 5, 7),
+    (0, 2, 3, 7),
+    (0, 2, 6, 7),
+    (0, 4, 5, 7),
+    (0, 4, 6, 7),
+)
+
+
+def unit_cube_mesh(nx: int, ny: int | None = None, nz: int | None = None) -> Mesh:
+    """Tetrahedralised unit cube with ``nx x ny x nz`` cells (6 tets each)."""
+    require(nx >= 1, "nx must be >= 1")
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    require(ny >= 1 and nz >= 1, "ny, nz must be >= 1")
+    mx, my, mz = nx + 1, ny + 1, nz + 1
+
+    xs = np.linspace(0.0, 1.0, mx)
+    ys = np.linspace(0.0, 1.0, my)
+    zs = np.linspace(0.0, 1.0, mz)
+    gx, gy, gz = np.meshgrid(xs, ys, zs, indexing="ij")
+    coords = np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])
+
+    def nid(ix, iy, iz):
+        return (ix * my + iy) * mz + iz
+
+    ix, iy, iz = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    ix, iy, iz = ix.ravel(), iy.ravel(), iz.ravel()
+    # The 8 cube corners; bit k of the corner index selects +1 along axis k.
+    corners = np.empty((ix.size, 8), dtype=np.intp)
+    for c in range(8):
+        dx, dy, dz = c & 1, (c >> 1) & 1, (c >> 2) & 1
+        corners[:, c] = nid(ix + dx, iy + dy, iz + dz)
+    elements = np.vstack([corners[:, list(path)] for path in _KUHN_PATHS]).astype(
+        np.intp
+    )
+
+    node_idx = np.arange(mx * my * mz)
+    node_ix = node_idx // (my * mz)
+    node_iy = (node_idx // mz) % my
+    node_iz = node_idx % mz
+    groups = {
+        "left": np.flatnonzero(node_ix == 0).astype(np.intp),
+        "right": np.flatnonzero(node_ix == nx).astype(np.intp),
+        "bottom": np.flatnonzero(node_iy == 0).astype(np.intp),
+        "top": np.flatnonzero(node_iy == ny).astype(np.intp),
+        "front": np.flatnonzero(node_iz == 0).astype(np.intp),
+        "back": np.flatnonzero(node_iz == nz).astype(np.intp),
+    }
+    return Mesh(
+        coords=coords,
+        elements=elements,
+        dim=3,
+        grid_shape=(mx, my, mz),
+        boundary_groups=groups,
+    )
+
+
+__all__ = ["Mesh", "unit_square_mesh", "unit_cube_mesh"]

@@ -1,0 +1,80 @@
+"""FETI solver substrate: dual operator, PCPG, Table-2 approaches,
+amortization analysis."""
+
+from repro.feti.amortization import (
+    ApproachTiming,
+    amortization_point,
+    best_approach,
+    crossover_table,
+)
+from repro.feti.dual_approaches import (
+    APPROACHES,
+    DualOperatorApproach,
+    SubdomainPreprocess,
+    estimate_approach_timing,
+    make_approach,
+)
+from repro.feti.operator import (
+    DualOperator,
+    ExplicitLocalOperator,
+    ImplicitLocalOperator,
+    LocalDualOperator,
+    build_dual_operator,
+    factorize_subdomain,
+)
+from repro.feti.pcpg import PcpgResult, pcpg
+from repro.feti.planner import DEFAULT_CANDIDATES, Plan, plan_approach
+from repro.feti.preconditioner import (
+    DirichletPreconditioner,
+    IdentityPreconditioner,
+    LumpedPreconditioner,
+    make_preconditioner,
+)
+from repro.feti.projector import CoarseProblem
+from repro.feti.solver import FetiSolution, FetiSolver, FetiTimings, solve_feti
+from repro.feti.timing import (
+    CHOLMOD,
+    MKL_PARDISO,
+    FactorizationLibrary,
+    explicit_apply_time,
+    implicit_apply_time,
+    sc_transfer_time,
+)
+
+__all__ = [
+    "FetiSolver",
+    "FetiSolution",
+    "FetiTimings",
+    "solve_feti",
+    "pcpg",
+    "PcpgResult",
+    "CoarseProblem",
+    "DualOperator",
+    "build_dual_operator",
+    "LocalDualOperator",
+    "ImplicitLocalOperator",
+    "ExplicitLocalOperator",
+    "factorize_subdomain",
+    "IdentityPreconditioner",
+    "LumpedPreconditioner",
+    "DirichletPreconditioner",
+    "make_preconditioner",
+    "Plan",
+    "plan_approach",
+    "DEFAULT_CANDIDATES",
+    "APPROACHES",
+    "make_approach",
+    "estimate_approach_timing",
+    "DualOperatorApproach",
+    "SubdomainPreprocess",
+    "FactorizationLibrary",
+    "MKL_PARDISO",
+    "CHOLMOD",
+    "implicit_apply_time",
+    "explicit_apply_time",
+    "sc_transfer_time",
+    "ApproachTiming",
+    "amortization_point",
+    "best_approach",
+    "crossover_table",
+]

@@ -1,0 +1,113 @@
+"""Preconditioned Conjugate Projected Gradient (PCPG) for the FETI dual
+system (7): ``[F, -G; -G^T, 0] [lam; alpha] = [d; -e]``.
+
+Classic Farhat–Roux iteration: start from a feasible ``lam_0`` satisfying
+``G^T lam = e``, then run preconditioned CG on the projected operator
+``P F P`` with ``P = I - G (G^T G)^{-1} G^T``.  The kernel amplitudes
+``alpha`` follow from the first block row once ``lam`` has converged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.feti.projector import CoarseProblem
+from repro.util import require
+
+
+@dataclass
+class PcpgResult:
+    """Converged multipliers, kernel amplitudes and iteration history."""
+
+    lam: np.ndarray
+    alpha: np.ndarray
+    iterations: int
+    converged: bool
+    residuals: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+
+def pcpg(
+    apply_f: Callable[[np.ndarray], np.ndarray],
+    d: np.ndarray,
+    g: np.ndarray,
+    e: np.ndarray,
+    apply_precond: Callable[[np.ndarray], np.ndarray] | None = None,
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+) -> PcpgResult:
+    """Solve the dual system with projected preconditioned CG.
+
+    Parameters
+    ----------
+    apply_f:
+        The dual operator ``lam -> F lam`` (implicit or explicit).
+    d, g, e:
+        Dual RHS, kernel matrix ``G = B R`` and coarse RHS ``e = R^T f``.
+    apply_precond:
+        Optional dual preconditioner ``w -> M^{-1} w``.
+    tol:
+        Relative tolerance on the projected residual.
+    max_iter:
+        Iteration cap; exceeding it returns ``converged=False``.
+    """
+    m = d.shape[0]
+    require(g.ndim == 2 and g.shape[0] == m, "G must be (n_multipliers, kdim)")
+    require(e.shape[0] == g.shape[1], "e size must match kernel dim")
+    require(tol > 0, "tol must be positive")
+    require(max_iter >= 1, "max_iter must be >= 1")
+
+    coarse = CoarseProblem(g)
+    lam = coarse.feasible_point(e)
+    r = d - apply_f(lam)
+
+    w = coarse.project(r)
+    norm0 = float(np.linalg.norm(w))
+    residuals = [norm0]
+    if norm0 == 0.0:
+        alpha = coarse.alpha_from(apply_f(lam) - d)
+        return PcpgResult(lam=lam, alpha=alpha, iterations=0, converged=True, residuals=residuals)
+
+    z = apply_precond(w) if apply_precond is not None else w
+    y = coarse.project(z)
+    p = y.copy()
+    rho = float(y @ w)
+
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        fp = apply_f(p)
+        pfp = float(p @ fp)
+        if pfp <= 0.0:
+            # Loss of positive definiteness on the projected space — stop
+            # with the current iterate rather than diverge.
+            break
+        gamma = rho / pfp
+        lam += gamma * p
+        r -= gamma * fp
+        w = coarse.project(r)
+        norm_w = float(np.linalg.norm(w))
+        residuals.append(norm_w)
+        if norm_w <= tol * norm0:
+            converged = True
+            break
+        z = apply_precond(w) if apply_precond is not None else w
+        y = coarse.project(z)
+        rho_new = float(y @ w)
+        beta = rho_new / rho
+        rho = rho_new
+        p = y + beta * p
+
+    alpha = coarse.alpha_from(apply_f(lam) - d)
+    return PcpgResult(
+        lam=lam, alpha=alpha, iterations=it, converged=converged, residuals=residuals
+    )
+
+
+__all__ = ["pcpg", "PcpgResult"]

@@ -1,0 +1,86 @@
+"""Approach planning: pick the dual-operator approach before preprocessing.
+
+The paper's closing argument is that with near-constant amortization points
+the acceleration becomes "beneficial early and easily predictable" — i.e. a
+solver can *choose* the right Table-2 approach up front from the expected
+iteration count.  This module implements that choice: estimate each
+candidate's per-subdomain preprocessing and per-iteration application cost
+(pattern-only, no numerics) and minimise the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import scipy.sparse as sp
+
+from repro.feti.amortization import ApproachTiming, best_approach
+from repro.feti.dual_approaches import APPROACHES, estimate_approach_timing
+from repro.sparse.cholesky import CholeskyFactor
+from repro.util import require
+
+#: Approaches a production run would consider (one implicit fallback, the
+#: CPU and GPU explicit routes of the paper).
+DEFAULT_CANDIDATES = ("impl_mkl", "impl_cholmod", "expl_mkl", "expl_hybrid", "expl_gpu_opt")
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Result of approach planning for one subdomain population."""
+
+    chosen: str
+    expected_iterations: int
+    timings: dict[str, ApproachTiming]
+
+    def total(self, name: str) -> float:
+        return self.timings[name].total(self.expected_iterations)
+
+    def summary(self) -> str:
+        lines = [
+            f"expected iterations: {self.expected_iterations}",
+            f"chosen approach:     {self.chosen}",
+            "candidate totals (per subdomain):",
+        ]
+        for name, t in sorted(
+            self.timings.items(), key=lambda kv: kv[1].total(self.expected_iterations)
+        ):
+            lines.append(
+                f"  {name:14s} {t.total(self.expected_iterations) * 1e3:10.3f} ms "
+                f"(prep {t.preprocessing * 1e3:.3f} + {self.expected_iterations} x "
+                f"{t.apply_per_iteration * 1e3:.4f})"
+            )
+        return "\n".join(lines)
+
+
+def plan_approach(
+    factor: CholeskyFactor,
+    bt: sp.spmatrix,
+    dim: int,
+    expected_iterations: int,
+    candidates: tuple[str, ...] = DEFAULT_CANDIDATES,
+) -> Plan:
+    """Choose the cheapest approach for a representative subdomain.
+
+    Parameters
+    ----------
+    factor, bt, dim:
+        A representative subdomain's factorization, gluing and dimension
+        (per-subdomain costs are near-uniform in the paper's balanced
+        decompositions).
+    expected_iterations:
+        Anticipated PCPG iteration count (problem conditioning).
+    candidates:
+        Approach names to consider; defaults to the production shortlist.
+    """
+    require(expected_iterations >= 0, "expected_iterations must be >= 0")
+    require(len(candidates) >= 1, "need at least one candidate")
+    for name in candidates:
+        require(name in APPROACHES, f"unknown approach {name!r}")
+    timings = {
+        name: estimate_approach_timing(name, factor, bt, dim) for name in candidates
+    }
+    chosen = best_approach(list(timings.values()), expected_iterations).name
+    return Plan(chosen=chosen, expected_iterations=expected_iterations, timings=timings)
+
+
+__all__ = ["Plan", "plan_approach", "DEFAULT_CANDIDATES"]

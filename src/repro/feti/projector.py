@@ -1,0 +1,71 @@
+"""Coarse problem and projector of FETI's dual system (eq. 7).
+
+The kernel constraints ``G^T lam = e`` define an affine subspace; PCPG
+iterates within it via the orthogonal projector ``P = I - G (G^T G)^{-1}
+G^T`` onto ``null(G^T)``.  The small dense ``G^T G`` (one row/column per
+floating-subdomain kernel vector) is the FETI *coarse problem* that makes
+the method scalable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.util import require
+
+
+class CoarseProblem:
+    """Factorized ``G^T G`` with solves, feasibility and projection."""
+
+    def __init__(self, g: np.ndarray) -> None:
+        g = np.asarray(g, dtype=np.float64)
+        require(g.ndim == 2, "G must be 2-D")
+        self.g = g
+        self.kernel_dim = g.shape[1]
+        if self.kernel_dim:
+            gtg = g.T @ g
+            try:
+                self._chol = scipy.linalg.cho_factor(gtg)
+                self._pinv = None
+            except scipy.linalg.LinAlgError:
+                # Redundant kernels (possible with exotic gluings): fall back
+                # to a pseudoinverse solve.
+                self._chol = None
+                self._pinv = np.linalg.pinv(gtg)
+        else:
+            self._chol = None
+            self._pinv = None
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """``(G^T G)^{-1} rhs``."""
+        require(rhs.shape[0] == self.kernel_dim, "coarse RHS size mismatch")
+        if self.kernel_dim == 0:
+            return rhs
+        if self._chol is not None:
+            return scipy.linalg.cho_solve(self._chol, rhs)
+        return self._pinv @ rhs
+
+    def feasible_point(self, e: np.ndarray) -> np.ndarray:
+        """``lam_0 = G (G^T G)^{-1} e`` satisfying ``G^T lam_0 = e``."""
+        if self.kernel_dim == 0:
+            return np.zeros(self.g.shape[0])
+        return self.g @ self.solve(e)
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        """``P x = x - G (G^T G)^{-1} G^T x``."""
+        if self.kernel_dim == 0:
+            return x
+        return x - self.g @ self.solve(self.g.T @ x)
+
+    def alpha_from(self, flam_minus_d: np.ndarray) -> np.ndarray:
+        """Kernel amplitudes ``alpha = (G^T G)^{-1} G^T (F lam - d)``.
+
+        From the first block row of (7): ``F lam - G alpha = d``.
+        """
+        if self.kernel_dim == 0:
+            return np.zeros(0)
+        return self.solve(self.g.T @ flam_minus_d)
+
+
+__all__ = ["CoarseProblem"]

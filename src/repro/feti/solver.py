@@ -1,0 +1,182 @@
+"""The FETI solver: initialization, preprocessing, solution (§2.2).
+
+Drives one of the Table-2 dual-operator approaches over all subdomains,
+assembles the coarse problem, runs PCPG and recovers the primal solution.
+Simulated stage timings are aggregated so the benchmarks can reproduce the
+paper's preprocessing (Fig. 9) and amortization (Fig. 10) studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dd.decomposition import Decomposition
+from repro.feti.dual_approaches import DualOperatorApproach, make_approach
+from repro.feti.operator import DualOperator, build_dual_operator
+from repro.feti.pcpg import PcpgResult, pcpg
+from repro.feti.preconditioner import make_preconditioner
+from repro.util import require
+
+
+@dataclass
+class FetiTimings:
+    """Simulated per-stage seconds, aggregated over subdomains."""
+
+    factorization: list[float] = field(default_factory=list)
+    assembly: list[float] = field(default_factory=list)
+    transfer: list[float] = field(default_factory=list)
+    apply_per_subdomain: list[float] = field(default_factory=list)
+
+    @property
+    def preprocessing_total(self) -> float:
+        return sum(self.factorization) + sum(self.assembly) + sum(self.transfer)
+
+    @property
+    def preprocessing_per_subdomain(self) -> float:
+        n = max(len(self.factorization), 1)
+        return self.preprocessing_total / n
+
+    @property
+    def apply_total_per_iteration(self) -> float:
+        return sum(self.apply_per_subdomain)
+
+    @property
+    def apply_mean_per_subdomain(self) -> float:
+        n = max(len(self.apply_per_subdomain), 1)
+        return self.apply_total_per_iteration / n
+
+
+@dataclass
+class FetiSolution:
+    """Primal solution plus dual-iteration info and simulated timings."""
+
+    u: np.ndarray
+    u_locals: list[np.ndarray]
+    info: PcpgResult
+    timings: FetiTimings
+
+    @property
+    def iterations(self) -> int:
+        return self.info.iterations
+
+
+class FetiSolver:
+    """Three-stage FETI solver over a :class:`Decomposition`.
+
+    Parameters
+    ----------
+    decomposition:
+        The torn problem (see :func:`repro.dd.decompose`).
+    approach:
+        Table-2 approach name (e.g. ``"expl_gpu_opt"``) or an instance.
+    ordering / engine:
+        Forwarded to the per-subdomain factorization.
+    preconditioner:
+        ``"lumped"`` (default), ``"none"``.
+    tol / max_iter:
+        PCPG controls.
+    """
+
+    def __init__(
+        self,
+        decomposition: Decomposition,
+        approach: str | DualOperatorApproach = "expl_gpu_opt",
+        ordering: str = "nd",
+        engine: str = "superlu",
+        preconditioner: str | None = "lumped",
+        tol: float = 1e-10,
+        max_iter: int = 1000,
+        expected_iterations: int = 100,
+    ) -> None:
+        self.decomposition = decomposition
+        if approach == "auto":
+            approach = self._plan_auto(expected_iterations, ordering, engine)
+        self.approach = (
+            make_approach(approach) if isinstance(approach, str) else approach
+        )
+        self.ordering = ordering
+        self.engine = engine
+        self.preconditioner = make_preconditioner(preconditioner, decomposition)
+        self.tol = tol
+        self.max_iter = max_iter
+        self.operator: DualOperator | None = None
+        self.timings = FetiTimings()
+
+    def _plan_auto(
+        self, expected_iterations: int, ordering: str, engine: str
+    ) -> str:
+        """Pick the approach via the planner on a representative subdomain."""
+        from repro.feti.operator import factorize_subdomain
+        from repro.feti.planner import plan_approach
+
+        # Largest subdomain is representative (costs scale with size).
+        sub = max(self.decomposition.subdomains, key=lambda s: s.n_dofs)
+        if sub.n_multipliers == 0:
+            return "impl_mkl"  # no dual problem: factorization is all there is
+        factor = factorize_subdomain(sub, ordering=ordering, engine=engine)
+        plan = plan_approach(
+            factor, sub.bt, sub.coords.shape[1], expected_iterations
+        )
+        return plan.chosen
+
+    def preprocess(self) -> FetiTimings:
+        """Numerical factorization (+ explicit SC assembly) per subdomain."""
+        local_ops = []
+        t = FetiTimings()
+        for sub in self.decomposition.subdomains:
+            res = self.approach.preprocess_subdomain(
+                sub, ordering=self.ordering, engine=self.engine
+            )
+            local_ops.append(res.local_op)
+            t.factorization.append(res.factorization_time)
+            t.assembly.append(res.assembly_time)
+            t.transfer.append(res.transfer_time)
+            t.apply_per_subdomain.append(res.apply_time)
+        self.operator = build_dual_operator(self.decomposition, local_ops)
+        self.timings = t
+        return t
+
+    def solve(self) -> FetiSolution:
+        """Run PCPG on the dual problem and recover the primal solution."""
+        if self.operator is None:
+            self.preprocess()
+        op = self.operator
+        require(op is not None, "preprocess() must run before solve()")
+        if self.decomposition.n_multipliers == 0:
+            # Degenerate decomposition (single subdomain, no interfaces):
+            # the dual problem is empty and u_i = K_i^+ f_i directly.
+            info = PcpgResult(
+                lam=np.zeros(0), alpha=np.zeros(0), iterations=0, converged=True,
+                residuals=[0.0],
+            )
+            u_locals = op.recover_solution(info.lam, info.alpha)
+            u = self.decomposition.expand_solution(u_locals)
+            return FetiSolution(u=u, u_locals=u_locals, info=info, timings=self.timings)
+        info = pcpg(
+            apply_f=op.apply,
+            d=op.d,
+            g=op.g,
+            e=op.e,
+            apply_precond=self.preconditioner.apply,
+            tol=self.tol,
+            max_iter=self.max_iter,
+        )
+        u_locals = op.recover_solution(info.lam, info.alpha)
+        u = self.decomposition.expand_solution(u_locals)
+        return FetiSolution(u=u, u_locals=u_locals, info=info, timings=self.timings)
+
+
+def solve_feti(
+    decomposition: Decomposition,
+    approach: str = "expl_gpu_opt",
+    **kwargs,
+) -> FetiSolution:
+    """One-call convenience wrapper: preprocess + solve."""
+    solver = FetiSolver(decomposition, approach=approach, **kwargs)
+    solver.preprocess()
+    return solver.solve()
+
+
+__all__ = ["FetiSolver", "FetiSolution", "FetiTimings", "solve_feti"]

@@ -1,0 +1,248 @@
+"""Numeric kernels with cost accounting.
+
+Each function *executes* the operation with NumPy/SciPy (results are exact)
+and returns the :class:`~repro.gpu.costmodel.KernelCost` a real device would
+pay: FLOPs from the standard BLAS formulas, memory traffic from the operand
+shapes, one launch per library call.  Simulated devices price these costs;
+see :mod:`repro.gpu.runtime`.
+
+The kernel set mirrors what the paper's implementation calls through
+cuBLAS/cuSPARSE and MKL: dense/sparse TRSM, SYRK, GEMM, SPMM, row
+gather/scatter (pruning), and column permutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.gpu.costmodel import (
+    FLOAT64_BYTES,
+    KernelCost,
+    csx_bytes,
+    dense_bytes,
+)
+from repro.sparse.triangular import TriangularSolver
+from repro.util import (
+    gemm_flops,
+    require,
+    spmm_flops,
+    syrk_flops,
+    trsm_dense_flops,
+    trsm_sparse_flops,
+)
+
+
+def trsm_dense(l_dense: np.ndarray, x: np.ndarray, trans: bool = False) -> KernelCost:
+    """In-place dense TRSM: ``x <- L^{-1} x`` (or ``L^{-T} x`` with *trans*).
+
+    *l_dense* is the lower-triangular factor (a dense view); *x* is
+    overwritten with the solution, matching the in-place TRSM convention of
+    §3.2.
+    """
+    n = l_dense.shape[0]
+    require(l_dense.shape == (n, n), "factor must be square")
+    require(x.shape[0] == n, "RHS row count mismatch")
+    m = 1 if x.ndim == 1 else x.shape[1]
+    x[...] = scipy.linalg.solve_triangular(
+        l_dense, x, lower=True, trans="T" if trans else "N", check_finite=False
+    )
+    return KernelCost(
+        flops=trsm_dense_flops(n, m),
+        bytes_moved=dense_bytes((n, n)) / 2.0 + 2.0 * dense_bytes((n, m)),
+        launches=1,
+        char_dim=float(min(n, m)) if min(n, m) > 0 else 1.0,
+    )
+
+
+def trsm_sparse(
+    l: sp.spmatrix,
+    x: np.ndarray,
+    trans: bool = False,
+    solver: TriangularSolver | None = None,
+) -> KernelCost:
+    """In-place sparse-factor TRSM: ``x <- L^{-1} x`` with ``L`` in CSR/CSC.
+
+    A prebuilt :class:`TriangularSolver` may be supplied to amortise the
+    (zero-fill) analysis across calls, as persistent GPU workspaces do in
+    the paper's implementation.
+    """
+    n = l.shape[0]
+    require(x.shape[0] == n, "RHS row count mismatch")
+    m = 1 if x.ndim == 1 else x.shape[1]
+    if solver is None:
+        solver = TriangularSolver(l)
+    x[...] = solver.solve(x, transpose=trans)
+    return KernelCost(
+        flops=trsm_sparse_flops(l.nnz, m),
+        bytes_moved=csx_bytes(l.nnz, n) + 2.0 * dense_bytes((n, m)),
+        launches=1,
+        char_dim=float(m),
+        sparse=True,
+    )
+
+
+def syrk(
+    y: np.ndarray,
+    c: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+) -> KernelCost:
+    """``C <- beta C + alpha Y^T Y`` (symmetric rank-k update, full matrix).
+
+    BLAS SYRK only touches one triangle; we materialise both halves (the
+    numbers are identical) but charge the one-triangle FLOP count, like the
+    library call would.
+    """
+    k, n = y.shape if y.ndim == 2 else (y.shape[0], 1)
+    require(c.shape == (n, n), "output must be (n, n)")
+    update = y.T @ y
+    if beta == 0.0:
+        c[...] = alpha * update
+    else:
+        c *= beta
+        c += alpha * update
+    return KernelCost(
+        flops=syrk_flops(n, k),
+        bytes_moved=dense_bytes((k, n)) + dense_bytes((n, n)),
+        launches=1,
+        char_dim=float(min(n, k)) if min(n, k) > 0 else 1.0,
+    )
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    trans_a: bool = False,
+) -> KernelCost:
+    """``C <- beta C + alpha op(A) B`` with dense operands."""
+    op_a = a.T if trans_a else a
+    m, k = op_a.shape
+    k2, n = b.shape
+    require(k == k2, f"inner dimensions differ: {k} vs {k2}")
+    require(c.shape == (m, n), f"output must be ({m}, {n})")
+    update = op_a @ b
+    if beta == 0.0:
+        c[...] = alpha * update
+    else:
+        c *= beta
+        c += alpha * update
+    return KernelCost(
+        flops=gemm_flops(m, n, k),
+        bytes_moved=dense_bytes((m, k), (k, n)) + 2.0 * dense_bytes((m, n)),
+        launches=1,
+        char_dim=float(min(m, n, k)) if min(m, n, k) > 0 else 1.0,
+    )
+
+
+def spmm(a: sp.spmatrix, b: np.ndarray, c: np.ndarray, alpha: float = 1.0, beta: float = 1.0) -> KernelCost:
+    """``C <- beta C + alpha A B`` with sparse ``A`` and dense ``B``."""
+    m, k = a.shape
+    require(b.shape[0] == k, "inner dimension mismatch")
+    n = 1 if b.ndim == 1 else b.shape[1]
+    update = a @ b
+    if beta == 0.0:
+        c[...] = alpha * update
+    else:
+        c *= beta
+        c += alpha * update
+    return KernelCost(
+        flops=spmm_flops(a.nnz, n),
+        bytes_moved=csx_bytes(a.nnz, m) + dense_bytes((k, n)) + 2.0 * dense_bytes((m, n)),
+        launches=1,
+        char_dim=float(n),
+        sparse=True,
+    )
+
+
+def gather_rows(x: np.ndarray, rows: np.ndarray) -> tuple[np.ndarray, KernelCost]:
+    """Pack selected rows into a contiguous matrix (the *pruning* gather)."""
+    out = np.ascontiguousarray(x[rows])
+    nbytes = 2.0 * out.size * FLOAT64_BYTES
+    return out, KernelCost(
+        flops=0.0, bytes_moved=nbytes, launches=1, char_dim=float(max(out.shape[-1] if out.ndim > 1 else 1, 1)), sparse=True
+    )
+
+
+def scatter_add_rows(target: np.ndarray, rows: np.ndarray, values: np.ndarray, sign: float = 1.0) -> KernelCost:
+    """``target[rows] += sign * values`` (the pruning scatter)."""
+    require(values.shape[0] == rows.shape[0], "row count mismatch")
+    target[rows] += sign * values
+    nbytes = 3.0 * values.size * FLOAT64_BYTES
+    return KernelCost(
+        flops=float(values.size),
+        bytes_moved=nbytes,
+        launches=1,
+        char_dim=float(max(values.shape[-1] if values.ndim > 1 else 1, 1)),
+        sparse=True,
+    )
+
+
+def extract_sparse_block(
+    l: sp.csc_matrix, r0: int, r1: int, c0: int, c1: int
+) -> tuple[sp.csc_matrix, KernelCost]:
+    """Extract ``L[r0:r1, c0:c1]`` as CSC (sparse subfactor extraction, §3.2)."""
+    block = sp.csc_matrix(l[r0:r1, c0:c1])
+    return block, KernelCost(
+        flops=0.0,
+        bytes_moved=2.0 * csx_bytes(block.nnz, max(c1 - c0, 1)),
+        launches=1,
+        char_dim=1.0,
+        sparse=True,
+    )
+
+
+def densify(a: sp.spmatrix) -> tuple[np.ndarray, KernelCost]:
+    """Sparse -> dense conversion (the *dense factor storage* setting)."""
+    out = a.toarray()
+    return out, KernelCost(
+        flops=0.0,
+        bytes_moved=csx_bytes(a.nnz, a.shape[1]) + out.size * FLOAT64_BYTES,
+        launches=1,
+        char_dim=1.0,
+        sparse=True,
+    )
+
+
+def permute_columns(x: np.ndarray, perm: np.ndarray, inverse: bool = False) -> tuple[np.ndarray, KernelCost]:
+    """Column permutation of a dense matrix (stepped-shape pre/post step)."""
+    require(x.ndim == 2, "x must be 2-D")
+    require(perm.size == x.shape[1], "permutation length mismatch")
+    if inverse:
+        out = np.empty_like(x)
+        out[:, perm] = x
+    else:
+        out = x[:, perm]
+    nbytes = 2.0 * x.size * FLOAT64_BYTES
+    return out, KernelCost(flops=0.0, bytes_moved=nbytes, launches=1, char_dim=float(x.shape[0]))
+
+
+def symmetric_permute(f: np.ndarray, perm: np.ndarray, inverse: bool = True) -> tuple[np.ndarray, KernelCost]:
+    """Symmetric permutation of the assembled SC back to the original LM order."""
+    require(f.ndim == 2 and f.shape[0] == f.shape[1], "F must be square")
+    if inverse:
+        out = np.empty_like(f)
+        out[np.ix_(perm, perm)] = f
+    else:
+        out = f[np.ix_(perm, perm)]
+    nbytes = 2.0 * f.size * FLOAT64_BYTES
+    return out, KernelCost(flops=0.0, bytes_moved=nbytes, launches=1, char_dim=float(f.shape[0]))
+
+
+__all__ = [
+    "trsm_dense",
+    "trsm_sparse",
+    "syrk",
+    "gemm",
+    "spmm",
+    "gather_rows",
+    "scatter_add_rows",
+    "extract_sparse_block",
+    "densify",
+    "permute_columns",
+    "symmetric_permute",
+]

@@ -1,0 +1,108 @@
+"""Simulated device memory: persistent region + temporary pool allocator.
+
+Reproduces the memory discipline of the original algorithm (§3.1): all
+*persistent* structures (the Schur complements used by every iteration,
+library workspaces) are allocated once; everything else goes through a
+*temporary* pool that reuses memory without calling the device allocator.
+When the pool cannot satisfy a request the requesting work item must wait
+until other work frees memory — surfaced here as the ``would_block`` flag
+that the pipeline scheduler turns into a simulated stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util import require
+
+
+class OutOfDeviceMemoryError(RuntimeError):
+    """Raised when a persistent allocation exceeds device capacity."""
+
+
+@dataclass
+class Allocation:
+    """A live allocation ticket."""
+
+    nbytes: float
+    tag: str
+    kind: str = "temporary"  # "persistent" | "temporary"
+    freed: bool = False
+
+
+@dataclass
+class MemoryPool:
+    """Bookkeeping for one device's memory.
+
+    Tracks persistent and temporary usage separately plus the high-water
+    mark; enforces the capacity for persistent allocations and reports
+    blocking for temporary ones.
+    """
+
+    capacity: float
+    persistent_used: float = 0.0
+    temporary_used: float = 0.0
+    high_water: float = 0.0
+    live: list[Allocation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require(self.capacity > 0, "capacity must be positive")
+
+    @property
+    def used(self) -> float:
+        return self.persistent_used + self.temporary_used
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.used
+
+    def alloc_persistent(self, nbytes: float, tag: str = "persistent") -> Allocation:
+        require(nbytes >= 0, "nbytes must be >= 0")
+        if self.used + nbytes > self.capacity:
+            raise OutOfDeviceMemoryError(
+                f"persistent allocation of {nbytes:.3g} B exceeds capacity "
+                f"({self.used:.3g}/{self.capacity:.3g} B used)"
+            )
+        self.persistent_used += nbytes
+        self._bump()
+        a = Allocation(nbytes=nbytes, tag=tag, kind="persistent")
+        self.live.append(a)
+        return a
+
+    def would_block(self, nbytes: float) -> bool:
+        """Would a temporary allocation of *nbytes* have to wait?"""
+        return self.used + nbytes > self.capacity
+
+    def alloc_temporary(self, nbytes: float, tag: str = "temporary") -> Allocation:
+        """Allocate from the temporary pool.
+
+        Unlike the persistent region this never raises: the paper's
+        temporary allocator *blocks* the requesting thread instead.  Callers
+        (the pipeline scheduler) must consult :meth:`would_block` first and
+        model the stall; allocating past capacity here is a logic error.
+        """
+        require(nbytes >= 0, "nbytes must be >= 0")
+        require(
+            not self.would_block(nbytes),
+            "temporary allocation would block; scheduler must wait for frees",
+        )
+        self.temporary_used += nbytes
+        self._bump()
+        a = Allocation(nbytes=nbytes, tag=tag, kind="temporary")
+        self.live.append(a)
+        return a
+
+    def free(self, allocation: Allocation) -> None:
+        require(not allocation.freed, "double free")
+        allocation.freed = True
+        self.live.remove(allocation)
+        if allocation.kind == "persistent":
+            self.persistent_used -= allocation.nbytes
+        else:
+            self.temporary_used -= allocation.nbytes
+
+    def _bump(self) -> None:
+        self.high_water = max(self.high_water, self.used)
+
+
+__all__ = ["MemoryPool", "Allocation", "OutOfDeviceMemoryError"]

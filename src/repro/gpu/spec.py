@@ -1,0 +1,100 @@
+"""Device specifications for the simulated execution model.
+
+The paper's testbed is a Karolina GPU node: 8x NVIDIA A100-40GB and 2x AMD
+EPYC 7763 (one GPU + one 16-core NUMA domain per process).  We model each
+executing resource (one GPU, one CPU core) as a roofline:
+
+``time = launches * launch_overhead
+       + flops / (peak_flops * efficiency(char_dim))
+       + bytes / mem_bandwidth``
+
+where ``efficiency(d) = eff_max * d / (d + dim_half)`` captures how BLAS
+kernels only approach peak for sufficiently large matrix dimensions — the
+effect behind the paper's observation that tiny split blocks are
+counterproductive (§4.1) and that GPU acceleration loses for very small
+subdomains (kernel-launch overhead, §5).
+
+Numbers are published vendor figures (A100: 9.7 TFLOP/s FP64, 1.555 TB/s
+HBM2; EPYC 7763 core: ~39 GFLOP/s FP64, ~20 GB/s sustained per-core stream
+share; PCIe 4.0 x16: ~24 GB/s effective) with efficiency knees chosen to
+match the qualitative crossovers reported in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util import require
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Roofline description of one executing resource."""
+
+    name: str
+    kind: str  # "gpu" | "cpu"
+    peak_flops: float  # FP64 FLOP/s
+    mem_bandwidth: float  # bytes/s
+    launch_overhead: float  # seconds per kernel launch / library call
+    eff_max: float  # ceiling on achieved fraction of peak
+    dim_half: float  # characteristic dim at which efficiency is eff_max/2
+    sparse_discount: float  # peak multiplier for irregular (sparse) kernels
+    memory_capacity: float  # bytes of device memory
+
+    def __post_init__(self) -> None:
+        require(self.kind in ("gpu", "cpu"), f"bad device kind {self.kind!r}")
+        require(self.peak_flops > 0, "peak_flops must be positive")
+        require(self.mem_bandwidth > 0, "mem_bandwidth must be positive")
+        require(self.launch_overhead >= 0, "launch_overhead must be >= 0")
+        require(0 < self.eff_max <= 1, "eff_max must be in (0, 1]")
+        require(self.dim_half >= 0, "dim_half must be >= 0")
+        require(0 < self.sparse_discount <= 1, "sparse_discount must be in (0, 1]")
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Return a copy with some fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """Host<->device link (PCIe)."""
+
+    bandwidth: float  # bytes/s
+    latency: float  # seconds per transfer
+
+    def time(self, nbytes: float) -> float:
+        require(nbytes >= 0, "nbytes must be >= 0")
+        return self.latency + nbytes / self.bandwidth
+
+
+#: NVIDIA A100-SXM4-40GB (FP64 CUDA cores, HBM2).
+A100_40GB = DeviceSpec(
+    name="nvidia-a100-40gb",
+    kind="gpu",
+    peak_flops=9.7e12,
+    mem_bandwidth=1.555e12,
+    launch_overhead=8e-6,
+    eff_max=0.85,
+    dim_half=384.0,
+    sparse_discount=0.03,
+    memory_capacity=40e9,
+)
+
+#: One core of an AMD EPYC 7763 (Zen3, 2.45 GHz base, 16 DP FLOP/cycle).
+EPYC_7763_CORE = DeviceSpec(
+    name="amd-epyc-7763-core",
+    kind="cpu",
+    peak_flops=39e9,
+    mem_bandwidth=20e9,
+    launch_overhead=4e-7,
+    eff_max=0.90,
+    dim_half=24.0,
+    sparse_discount=0.10,
+    memory_capacity=128e9,
+)
+
+#: PCIe 4.0 x16 effective host<->device link.
+PCIE4_X16 = TransferSpec(bandwidth=24e9, latency=1e-5)
+
+
+__all__ = ["DeviceSpec", "TransferSpec", "A100_40GB", "EPYC_7763_CORE", "PCIE4_X16"]

@@ -1,0 +1,33 @@
+"""Simulated parallel runtime: task scheduler, preprocessing pipeline, traces."""
+
+from repro.runtime.node import (
+    KAROLINA_GPU_NODE,
+    NodeResult,
+    NodeSpec,
+    run_node_preprocessing,
+)
+from repro.runtime.pipeline import (
+    PIPELINE_MODES,
+    PipelineResult,
+    SubdomainWork,
+    run_preprocessing_pipeline,
+)
+from repro.runtime.scheduler import Schedule, ScheduledTask, Task, schedule_tasks
+from repro.runtime.trace import gantt, render_schedule
+
+__all__ = [
+    "Task",
+    "ScheduledTask",
+    "Schedule",
+    "schedule_tasks",
+    "SubdomainWork",
+    "PipelineResult",
+    "run_preprocessing_pipeline",
+    "PIPELINE_MODES",
+    "render_schedule",
+    "gantt",
+    "NodeSpec",
+    "NodeResult",
+    "KAROLINA_GPU_NODE",
+    "run_node_preprocessing",
+]

@@ -1,0 +1,90 @@
+"""Full-node simulation: several independent process pipelines (§2.2, §4).
+
+The paper's production mapping is one MPI process per NUMA domain + GPU
+(8 per Karolina node), each owning one cluster of subdomains: "processes do
+not influence each other and do not compete for resources", so "one can
+scale the application to more MPI processes without influencing single-node
+performance".  This module makes that claim executable: a node runs one
+preprocessing pipeline per process and its makespan is the slowest process
+— perfectly parallel when clusters are balanced, straggler-bound when not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.pipeline import PipelineResult, SubdomainWork, run_preprocessing_pipeline
+from repro.util import require
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Process layout of one compute node (Karolina GPU node by default)."""
+
+    n_processes: int = 8  # one per NUMA domain / GPU
+    threads_per_process: int = 16
+    streams_per_process: int = 16
+
+    def __post_init__(self) -> None:
+        require(self.n_processes >= 1, "need at least one process")
+        require(self.threads_per_process >= 1, "need at least one thread")
+        require(self.streams_per_process >= 1, "need at least one stream")
+
+
+KAROLINA_GPU_NODE = NodeSpec(n_processes=8, threads_per_process=16, streams_per_process=16)
+
+
+@dataclass
+class NodeResult:
+    """Timing summary of a whole-node preprocessing run."""
+
+    makespan: float
+    per_process: list[PipelineResult]
+
+    @property
+    def balance(self) -> float:
+        """Fastest/slowest process ratio (1.0 = perfectly balanced)."""
+        times = [p.makespan for p in self.per_process]
+        return min(times) / max(times) if max(times) > 0 else 1.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Sum of process makespans over (n_processes * node makespan)."""
+        total = sum(p.makespan for p in self.per_process)
+        n = len(self.per_process)
+        return total / (n * self.makespan) if self.makespan > 0 else 1.0
+
+
+def run_node_preprocessing(
+    cluster_work: list[list[SubdomainWork]],
+    node: NodeSpec = KAROLINA_GPU_NODE,
+    mode: str = "mix",
+    assembly_on_gpu: bool = True,
+) -> NodeResult:
+    """Simulate the preprocessing of one node: one cluster per process.
+
+    Parameters
+    ----------
+    cluster_work:
+        Per-process lists of subdomain work items (typically from
+        :func:`repro.dd.make_clusters` + per-subdomain estimates).  Must
+        have at most ``node.n_processes`` entries.
+    """
+    require(1 <= len(cluster_work) <= node.n_processes, "cluster count vs processes")
+    per_process = [
+        run_preprocessing_pipeline(
+            work,
+            mode=mode,
+            n_threads=node.threads_per_process,
+            n_streams=node.streams_per_process,
+            assembly_on_gpu=assembly_on_gpu,
+        )
+        for work in cluster_work
+    ]
+    return NodeResult(
+        makespan=max(p.makespan for p in per_process),
+        per_process=per_process,
+    )
+
+
+__all__ = ["NodeSpec", "KAROLINA_GPU_NODE", "NodeResult", "run_node_preprocessing"]

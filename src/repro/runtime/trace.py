@@ -1,0 +1,54 @@
+"""Timeline traces: text rendering of a schedule (poor man's Gantt chart)."""
+
+from __future__ import annotations
+
+from repro.runtime.scheduler import Schedule
+from repro.util import Table, format_si, require
+
+
+def render_schedule(schedule: Schedule, max_rows: int = 40) -> str:
+    """Tabular rendering of a schedule ordered by start time."""
+    table = Table(["task", "resource", "worker", "start", "end", "duration"])
+    rows = sorted(schedule.tasks.values(), key=lambda t: (t.start, t.task_id))
+    for t in rows[:max_rows]:
+        table.add_row(
+            [
+                t.task_id,
+                t.resource,
+                t.worker,
+                format_si(t.start, "s"),
+                format_si(t.end, "s"),
+                format_si(t.end - t.start, "s"),
+            ]
+        )
+    out = table.render()
+    if len(rows) > max_rows:
+        out += f"\n... ({len(rows) - max_rows} more tasks)"
+    out += f"\nmakespan: {format_si(schedule.makespan, 's')}"
+    return out
+
+
+def gantt(schedule: Schedule, resource: str, n_workers: int, width: int = 72) -> str:
+    """ASCII Gantt chart of one worker pool.
+
+    Each row is a worker; each task paints its id's last character over its
+    time span.  Intended for debugging pipeline overlap, not for precision.
+    """
+    require(width >= 10, "width too small")
+    if schedule.makespan == 0:
+        return "(empty schedule)"
+    scale = width / schedule.makespan
+    rows = [[" "] * width for _ in range(n_workers)]
+    for t in sorted(schedule.tasks.values(), key=lambda t: t.start):
+        if t.resource != resource or t.worker >= n_workers:
+            continue
+        c0 = min(int(t.start * scale), width - 1)
+        c1 = min(max(int(t.end * scale), c0 + 1), width)
+        mark = t.task_id[-1]
+        for c in range(c0, c1):
+            rows[t.worker][c] = mark
+    lines = [f"{resource}[{i}] |{''.join(r)}|" for i, r in enumerate(rows)]
+    return "\n".join(lines)
+
+
+__all__ = ["render_schedule", "gantt"]

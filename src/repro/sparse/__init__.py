@@ -1,0 +1,83 @@
+"""Sparse direct-solver substrate: orderings, symbolic/numeric Cholesky,
+triangular solves, augmented Schur complement, regularization, null spaces.
+
+This package is the from-scratch stand-in for MKL PARDISO / CHOLMOD / METIS
+that the paper's FETI implementation builds on.
+"""
+
+from repro.sparse.cholesky import (
+    ENGINES,
+    CholeskyFactor,
+    NotPositiveDefiniteError,
+    cholesky,
+)
+from repro.sparse.etree import elimination_tree, postorder, row_pattern
+from repro.sparse.nullspace import (
+    constant_nullspace,
+    nullspace_dense,
+    spnorm_inf,
+    verify_nullspace,
+)
+from repro.sparse.ordering import (
+    ORDERING_METHODS,
+    amd_ordering,
+    compute_ordering,
+    natural_ordering,
+    nd_ordering,
+    rcm_ordering,
+)
+from repro.sparse.regularization import (
+    choose_fixing_dofs,
+    choose_fixing_dofs_by_kernel,
+    choose_fixing_nodes,
+    regularize,
+)
+from repro.sparse.schur_augmented import AugmentedSchurResult, schur_augmented
+from repro.sparse.schur_estimate import (
+    AugmentedCostEstimate,
+    estimate_augmented_cost,
+    factor_etree,
+)
+from repro.sparse.symbolic import SymbolicFactor, factor_pattern_csc, symbolic_factorize
+from repro.sparse.triangular import (
+    TriangularSolver,
+    solve_lower,
+    solve_upper,
+    spsolve_lower_sparse,
+)
+
+__all__ = [
+    "cholesky",
+    "CholeskyFactor",
+    "NotPositiveDefiniteError",
+    "ENGINES",
+    "elimination_tree",
+    "postorder",
+    "row_pattern",
+    "symbolic_factorize",
+    "SymbolicFactor",
+    "factor_pattern_csc",
+    "compute_ordering",
+    "natural_ordering",
+    "rcm_ordering",
+    "amd_ordering",
+    "nd_ordering",
+    "ORDERING_METHODS",
+    "solve_lower",
+    "solve_upper",
+    "TriangularSolver",
+    "spsolve_lower_sparse",
+    "schur_augmented",
+    "AugmentedSchurResult",
+    "estimate_augmented_cost",
+    "AugmentedCostEstimate",
+    "factor_etree",
+    "choose_fixing_dofs",
+    "choose_fixing_nodes",
+    "choose_fixing_dofs_by_kernel",
+    "regularize",
+    "constant_nullspace",
+    "nullspace_dense",
+    "verify_nullspace",
+    "spnorm_inf",
+]

@@ -1,0 +1,58 @@
+"""Kernel (null-space) bases ``R_i`` of subdomain matrices.
+
+FETI needs, for every floating subdomain, a basis of ``Ker K_i`` — the
+columns of ``R_i`` in §2.1.  For scalar diffusion the kernel is the constant
+field; for elasticity it would be the rigid-body modes.  A dense
+eigen-decomposition fallback handles arbitrary small matrices in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.util import check_sparse_square, require
+
+
+def constant_nullspace(n: int) -> np.ndarray:
+    """Normalised constant kernel basis for a scalar diffusion operator."""
+    require(n > 0, "n must be positive")
+    return np.full((n, 1), 1.0 / np.sqrt(n))
+
+
+def nullspace_dense(k: sp.spmatrix | np.ndarray, tol: float = 1e-8) -> np.ndarray:
+    """Orthonormal kernel basis of a small symmetric matrix via ``eigh``.
+
+    Eigenvectors whose eigenvalue is below ``tol * max_eigenvalue`` span the
+    numerical kernel.  Intended for verification on small matrices — O(n^3).
+    """
+    kd = k.toarray() if sp.issparse(k) else np.asarray(k, dtype=np.float64)
+    n = kd.shape[0]
+    require(kd.shape == (n, n), "matrix must be square")
+    w, v = scipy.linalg.eigh(kd)
+    cutoff = tol * max(abs(w[0]), abs(w[-1]), 1e-300)
+    kernel = v[:, np.abs(w) <= cutoff]
+    return kernel
+
+
+def verify_nullspace(
+    k: sp.spmatrix, r: np.ndarray, tol: float = 1e-8
+) -> bool:
+    """Check ``||K R|| <= tol * ||K||`` column-wise."""
+    n = check_sparse_square(k, "k")
+    r = np.asarray(r, dtype=np.float64)
+    require(r.ndim == 2 and r.shape[0] == n, "R must be (n, kernel_dim)")
+    if r.shape[1] == 0:
+        return True
+    knorm = spnorm_inf(k)
+    residual = np.abs(k @ r).max()
+    return bool(residual <= tol * max(knorm, 1e-300))
+
+
+def spnorm_inf(a: sp.spmatrix) -> float:
+    """Infinity norm of a sparse matrix (max absolute row sum)."""
+    return float(np.abs(a).sum(axis=1).max()) if a.nnz else 0.0
+
+
+__all__ = ["constant_nullspace", "nullspace_dense", "verify_nullspace", "spnorm_inf"]

@@ -1,0 +1,59 @@
+"""Fill-reducing orderings: natural, RCM, AMD, nested dissection."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.ordering.amd import amd_ordering
+from repro.sparse.ordering.natural import natural_ordering
+from repro.sparse.ordering.nested_dissection import nd_ordering
+from repro.sparse.ordering.rcm import rcm_ordering
+from repro.util import require
+
+ORDERING_METHODS = ("natural", "rcm", "amd", "nd")
+
+
+def compute_ordering(
+    a: sp.spmatrix,
+    method: str = "nd",
+    coords: np.ndarray | None = None,
+    **kwargs,
+) -> np.ndarray:
+    """Compute a fill-reducing permutation of the symmetric matrix *a*.
+
+    Parameters
+    ----------
+    a:
+        Square symmetric sparse matrix (pattern is what matters).
+    method:
+        One of ``"natural"``, ``"rcm"``, ``"amd"``, ``"nd"`` (default —
+        nested dissection, the METIS stand-in the paper's stepped shape
+        relies on).
+    coords:
+        Optional node coordinates, used by geometric nested dissection.
+
+    Returns
+    -------
+    numpy.ndarray
+        Permutation ``perm`` such that ``a[perm][:, perm]`` is the reordered
+        matrix.
+    """
+    require(method in ORDERING_METHODS, f"unknown ordering method {method!r}")
+    if method == "natural":
+        return natural_ordering(a)
+    if method == "rcm":
+        return rcm_ordering(a)
+    if method == "amd":
+        return amd_ordering(a)
+    return nd_ordering(a, coords=coords, **kwargs)
+
+
+__all__ = [
+    "compute_ordering",
+    "natural_ordering",
+    "rcm_ordering",
+    "amd_ordering",
+    "nd_ordering",
+    "ORDERING_METHODS",
+]

@@ -1,0 +1,14 @@
+"""Natural (identity) ordering — baseline with no fill reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util import check_sparse_square
+
+
+def natural_ordering(a: sp.spmatrix) -> np.ndarray:
+    """Return the identity permutation for *a* (no reordering)."""
+    n = check_sparse_square(a, "a")
+    return np.arange(n, dtype=np.intp)

@@ -1,0 +1,31 @@
+"""Reverse Cuthill–McKee ordering.
+
+A bandwidth-reducing ordering; not the best fill reducer for 3D problems but
+cheap and useful as a comparison point.  Wraps SciPy's compiled
+implementation and handles disconnected graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+from repro.util import check_sparse_square
+
+
+def rcm_ordering(a: sp.spmatrix) -> np.ndarray:
+    """Return the reverse Cuthill–McKee permutation of the symmetric matrix *a*.
+
+    The returned array ``perm`` is such that ``a[perm][:, perm]`` has reduced
+    bandwidth.  Works on the structural pattern only.
+    """
+    n = check_sparse_square(a, "a")
+    if n == 0:
+        return np.arange(0, dtype=np.intp)
+    pattern = sp.csr_matrix(
+        (np.ones(a.nnz, dtype=np.int8), a.tocsr().indices, a.tocsr().indptr),
+        shape=a.shape,
+    )
+    perm = reverse_cuthill_mckee(pattern, symmetric_mode=True)
+    return np.asarray(perm, dtype=np.intp)

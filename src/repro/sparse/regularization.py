@@ -1,0 +1,136 @@
+"""Analytic regularization of singular subdomain matrices.
+
+Floating FETI subdomains have symmetric positive *semi*-definite matrices
+``K_i`` whose kernel (rigid modes / constant temperature field) makes plain
+Cholesky fail.  Following Brzobohatý et al. [11], the paper regularizes with
+*fixing nodes*: ``K_reg = K + rho * sum_{d in fixed} e_d e_d^T``, where the
+fixing DOFs are chosen to intersect every kernel vector.  For the scalar
+heat-transfer problems in the evaluation (kernel = constants) a single
+well-placed fixing node suffices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util import check_sparse_square, require
+
+
+def choose_fixing_dofs(
+    k: sp.spmatrix,
+    kernel_dim: int,
+    coords: np.ndarray | None = None,
+) -> np.ndarray:
+    """Choose *kernel_dim* fixing DOFs for the SPSD matrix *k*.
+
+    The heuristic spreads the fixing nodes geometrically (when coordinates
+    are available) so each kernel vector has a substantial component on them:
+    the first is the DOF closest to the domain barycentre; subsequent ones
+    maximise the minimum distance to those already chosen (farthest-point
+    sampling).  Without coordinates the largest-diagonal DOFs are used.
+    """
+    n = check_sparse_square(k, "k")
+    require(0 <= kernel_dim <= n, "kernel_dim out of range")
+    if kernel_dim == 0:
+        return np.empty(0, dtype=np.intp)
+    if coords is None:
+        diag = k.diagonal()
+        return np.argsort(diag)[::-1][:kernel_dim].astype(np.intp)
+    coords = np.asarray(coords, dtype=np.float64)
+    require(coords.shape[0] == n, "coords must have one row per DOF")
+    centre = coords.mean(axis=0)
+    first = int(np.argmin(np.linalg.norm(coords - centre, axis=1)))
+    chosen = [first]
+    if kernel_dim > 1:
+        dist = np.linalg.norm(coords - coords[first], axis=1)
+        for _ in range(kernel_dim - 1):
+            nxt = int(np.argmax(dist))
+            chosen.append(nxt)
+            dist = np.minimum(dist, np.linalg.norm(coords - coords[nxt], axis=1))
+    return np.asarray(chosen, dtype=np.intp)
+
+
+def choose_fixing_nodes(
+    coords: np.ndarray, n_nodes: int, dofs_per_node: int
+) -> np.ndarray:
+    """Choose fixing *nodes* for vector-valued (e.g. elasticity) problems.
+
+    For rigid-body kernels, fixing single components is not enough (three
+    x-components leave the y-translation free); the standard choice [11]
+    fixes *all* components of a few well-spread nodes.  Returns the DOF
+    indices (interleaved numbering: ``node * dofs_per_node + component``)
+    of ``n_nodes`` farthest-point-sampled nodes.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    require(coords.ndim == 2, "coords must be (n_nodes, dim)")
+    require(1 <= n_nodes <= coords.shape[0], "n_nodes out of range")
+    require(dofs_per_node >= 1, "dofs_per_node must be >= 1")
+    centre = coords.mean(axis=0)
+    first = int(np.argmin(np.linalg.norm(coords - centre, axis=1)))
+    chosen = [first]
+    dist = np.linalg.norm(coords - coords[first], axis=1)
+    for _ in range(n_nodes - 1):
+        nxt = int(np.argmax(dist))
+        chosen.append(nxt)
+        dist = np.minimum(dist, np.linalg.norm(coords - coords[nxt], axis=1))
+    nodes = np.asarray(chosen, dtype=np.intp)
+    return (nodes[:, None] * dofs_per_node + np.arange(dofs_per_node)[None, :]).ravel()
+
+
+def choose_fixing_dofs_by_kernel(r: np.ndarray) -> np.ndarray:
+    """Choose exactly ``kernel_dim`` fixing DOFs from the kernel basis *r*.
+
+    ``K_reg^{-1}`` is an *exact* generalized inverse of ``K`` precisely when
+    the number of fixing DOFs equals the kernel dimension and the kernel
+    restricted to them (``R^T S``) is invertible: with ``K R = 0``,
+    ``R^T K_reg = rho (R^T S) S^T`` gives ``rho S^T K_reg^{-1} S = I`` and
+    the defect ``E (I - E^T K_reg^{-1} E) E^T`` vanishes.  QR with column
+    pivoting on ``R^T`` picks the most independent DOFs, maximising the
+    conditioning of ``R^T S``.
+    """
+    import scipy.linalg
+
+    r = np.asarray(r, dtype=np.float64)
+    require(r.ndim == 2, "kernel basis must be (n, kernel_dim)")
+    n, k = r.shape
+    require(1 <= k <= n, "kernel dimension out of range")
+    _, _, pivots = scipy.linalg.qr(r.T, pivoting=True, mode="economic")
+    return np.sort(pivots[:k]).astype(np.intp)
+
+
+def regularize(
+    k: sp.spmatrix,
+    fixing_dofs: np.ndarray,
+    rho: float | None = None,
+) -> sp.csr_matrix:
+    """Return ``K_reg = K + rho * sum e_d e_d^T`` over the fixing DOFs.
+
+    *rho* defaults to the mean diagonal of *k*, which keeps the conditioning
+    of the regularized matrix comparable to the original.
+    The regularization changes ``K^+`` only on the kernel — FETI projects
+    that component out through the coarse problem, so the solver is exact.
+    """
+    n = check_sparse_square(k, "k")
+    fixing_dofs = np.asarray(fixing_dofs, dtype=np.intp)
+    if fixing_dofs.size == 0:
+        return k.tocsr().copy()
+    require(
+        fixing_dofs.min() >= 0 and fixing_dofs.max() < n,
+        "fixing DOF out of range",
+    )
+    if rho is None:
+        rho = float(k.diagonal().mean())
+    require(rho > 0, "rho must be positive")
+    bump = sp.coo_matrix(
+        (np.full(fixing_dofs.size, rho), (fixing_dofs, fixing_dofs)), shape=(n, n)
+    )
+    return (k.tocsr() + bump.tocsr()).tocsr()
+
+
+__all__ = [
+    "choose_fixing_dofs",
+    "choose_fixing_nodes",
+    "choose_fixing_dofs_by_kernel",
+    "regularize",
+]

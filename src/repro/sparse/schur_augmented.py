@@ -1,0 +1,100 @@
+"""CPU Schur complement via augmented factorization (PARDISO stand-in).
+
+The paper's strongest CPU baseline (``expl_mkl``) is PARDISO's *augmented
+incomplete factorization* [8]: the Schur complement ``F = B K^{-1} B^T`` is
+obtained as the negative Schur complement of the ``K`` block in the augmented
+matrix ``[[K, B^T], [B, 0]]``, computed inside the factorization so that the
+sparsity of **both** ``K`` and ``B`` is exploited and no dense intermediate
+``Y = L^{-1} B^T`` is ever formed.
+
+We reproduce that behaviour with explicit sparse building blocks:
+
+1. factor ``K_reg = L L^T`` with a fill-reducing ordering,
+2. solve ``L Y = P B^T`` column-by-column with the Gilbert–Peierls
+   sparse-RHS solve (cost proportional to the *reach*, not to ``n``),
+3. accumulate ``F = Y^T Y`` as a sparse SYRK over the rows of ``Y``.
+
+The returned :class:`AugmentedSchurResult` carries the exact FLOPs performed
+so the simulated cost model can price the approach fairly against the
+GPU pipelines.  For 2D problems the factor reach stays tiny and this method
+wins — exactly the paper's Figure 9 conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.cholesky import CholeskyFactor, cholesky
+from repro.sparse.triangular import spsolve_lower_sparse
+from repro.util import require
+
+
+@dataclass(frozen=True)
+class AugmentedSchurResult:
+    """Schur complement computed on the CPU via sparse augmented factorization."""
+
+    schur: np.ndarray  # dense (m, m), symmetric, F = B K^{-1} B^T
+    factor: CholeskyFactor
+    solve_flops: float  # FLOPs of the sparse triangular solves
+    syrk_flops: float  # FLOPs of the sparse SYRK accumulation
+    y_nnz: int  # nonzeros of the intermediate Y
+
+    @property
+    def total_flops(self) -> float:
+        return self.factor.flops + self.solve_flops + self.syrk_flops
+
+
+def schur_augmented(
+    k_reg: sp.spmatrix,
+    bt: sp.spmatrix,
+    ordering: str = "nd",
+    coords: np.ndarray | None = None,
+    factor: CholeskyFactor | None = None,
+    engine: str = "superlu",
+) -> AugmentedSchurResult:
+    """Compute ``F = B K_reg^{-1} B^T`` exploiting sparsity of both inputs.
+
+    Parameters
+    ----------
+    k_reg:
+        Regularized SPD subdomain matrix.
+    bt:
+        Sparse ``B^T`` (n x m) — the transposed gluing matrix.
+    ordering, coords, engine:
+        Forwarded to :func:`repro.sparse.cholesky.cholesky` when *factor*
+        is not supplied.
+    factor:
+        Reuse an existing factorization (the FETI preprocessing loop shares
+        factors between the implicit operator and the SC assembly).
+    """
+    require(sp.issparse(bt), "bt must be sparse")
+    n = k_reg.shape[0]
+    require(bt.shape[0] == n, f"bt has {bt.shape[0]} rows, K has order {n}")
+    if factor is None:
+        factor = cholesky(k_reg, ordering=ordering, coords=coords, engine=engine)
+    # Permute B^T rows consistently with the factor: Y = L^{-1} (P B^T).
+    bt_perm = bt.tocsr()[factor.perm].tocsc()
+    y, solve_flops = spsolve_lower_sparse(factor.l, bt_perm)
+
+    # Sparse SYRK: F = Y^T Y accumulated row-by-row of Y (outer products of
+    # sparse rows).  FLOPs: one multiply-add per (nonzero, nonzero) pair per
+    # row — sum over rows of nnz_row^2.
+    y_csr = y.tocsr()
+    row_nnz = np.diff(y_csr.indptr).astype(np.float64)
+    syrk_flops = float(np.sum(row_nnz * row_nnz))
+    f = (y.T @ y).toarray()
+    # Symmetrise exactly (the product is symmetric up to roundoff).
+    f = 0.5 * (f + f.T)
+    return AugmentedSchurResult(
+        schur=f,
+        factor=factor,
+        solve_flops=solve_flops,
+        syrk_flops=syrk_flops,
+        y_nnz=int(y.nnz),
+    )
+
+
+__all__ = ["schur_augmented", "AugmentedSchurResult"]

@@ -1,0 +1,152 @@
+"""Symbolic Cholesky factorization.
+
+Computes, without touching numerical values:
+
+* the elimination tree,
+* per-column nonzero counts of the factor ``L``,
+* (optionally) the full row-wise pattern of ``L``,
+* the factorization FLOP count,
+* fundamental supernodes (columns with identical below-diagonal pattern),
+  used by the pruning optimization in :mod:`repro.core.trsm_split` the same
+  way CHOLMOD's supernodal factorization packs dense rows.
+
+This is the "initialization" stage of the paper's three-stage FETI solver
+(§2.2): performed once, reused across repeated numeric factorizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.etree import elimination_tree, row_pattern
+from repro.util import cholesky_flops, check_sparse_square
+
+
+@dataclass(frozen=True)
+class SymbolicFactor:
+    """Result of the symbolic analysis of ``A = L L^T``.
+
+    Attributes
+    ----------
+    n:
+        Matrix order.
+    parent:
+        Elimination tree (``-1`` marks roots).
+    col_counts:
+        Number of nonzeros per column of ``L`` including the diagonal.
+    nnz_l:
+        Total nonzeros of ``L``.
+    flops:
+        Estimated factorization FLOPs.
+    row_indptr / row_indices:
+        CSR-style row pattern of ``L`` (below-diagonal columns per row),
+        present only when ``with_pattern=True`` was requested.
+    supernodes:
+        Start columns of fundamental supernodes (ascending, ends with ``n``).
+    """
+
+    n: int
+    parent: np.ndarray
+    col_counts: np.ndarray
+    nnz_l: int
+    flops: float
+    row_indptr: np.ndarray | None = None
+    row_indices: np.ndarray | None = None
+    supernodes: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.intp))
+
+    def row(self, i: int) -> np.ndarray:
+        """Below-diagonal column pattern of row *i* of ``L`` (sorted)."""
+        if self.row_indptr is None or self.row_indices is None:
+            raise ValueError("symbolic factor was computed without the full pattern")
+        return self.row_indices[self.row_indptr[i] : self.row_indptr[i + 1]]
+
+
+def symbolic_factorize(a: sp.spmatrix, with_pattern: bool = True) -> SymbolicFactor:
+    """Symbolic Cholesky analysis of the symmetric matrix *a*.
+
+    When *with_pattern* is set the full row pattern of ``L`` is stored
+    (memory O(nnz(L))); otherwise only column counts are kept.
+    """
+    n = check_sparse_square(a, "a")
+    a_lower = sp.tril(a, format="csr")
+    parent = elimination_tree(a_lower)
+
+    col_counts = np.ones(n, dtype=np.int64)  # diagonal entries
+    indptr_list: list[int] = [0]
+    rows: list[np.ndarray] = []
+    nnz_below = 0
+    for i in range(n):
+        patt = row_pattern(a_lower, parent, i)
+        col_counts[patt] += 1
+        nnz_below += patt.size
+        if with_pattern:
+            rows.append(patt)
+            indptr_list.append(nnz_below)
+
+    nnz_l = int(col_counts.sum())
+    flops = cholesky_flops(col_counts)
+    supernodes = _fundamental_supernodes(parent, col_counts)
+    if with_pattern:
+        row_indices = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.intp)
+        )
+        row_indptr = np.asarray(indptr_list, dtype=np.intp)
+        return SymbolicFactor(
+            n=n,
+            parent=parent,
+            col_counts=col_counts,
+            nnz_l=nnz_l,
+            flops=flops,
+            row_indptr=row_indptr,
+            row_indices=row_indices,
+            supernodes=supernodes,
+        )
+    return SymbolicFactor(
+        n=n,
+        parent=parent,
+        col_counts=col_counts,
+        nnz_l=nnz_l,
+        flops=flops,
+        supernodes=supernodes,
+    )
+
+
+def _fundamental_supernodes(parent: np.ndarray, col_counts: np.ndarray) -> np.ndarray:
+    """Start columns of fundamental supernodes.
+
+    Column ``j+1`` continues the supernode of ``j`` iff ``parent[j] == j+1``
+    and ``col_counts[j] == col_counts[j+1] + 1`` (identical structure below
+    the diagonal, shifted by one).
+    """
+    n = parent.size
+    if n == 0:
+        return np.asarray([0], dtype=np.intp)
+    starts = [0]
+    for j in range(n - 1):
+        if not (parent[j] == j + 1 and col_counts[j] == col_counts[j + 1] + 1):
+            starts.append(j + 1)
+    starts.append(n)
+    return np.asarray(starts, dtype=np.intp)
+
+
+def factor_pattern_csc(sym: SymbolicFactor) -> sp.csc_matrix:
+    """Materialise the pattern of ``L`` as a CSC boolean matrix (incl. diagonal)."""
+    if sym.row_indptr is None or sym.row_indices is None:
+        raise ValueError("symbolic factor was computed without the full pattern")
+    n = sym.n
+    rows = []
+    cols = []
+    for i in range(n):
+        patt = sym.row(i)
+        rows.append(np.full(patt.size + 1, i, dtype=np.intp))
+        cols.append(np.append(patt, i))
+    rows_arr = np.concatenate(rows) if rows else np.empty(0, dtype=np.intp)
+    cols_arr = np.concatenate(cols) if cols else np.empty(0, dtype=np.intp)
+    data = np.ones(rows_arr.size, dtype=np.float64)
+    return sp.csc_matrix((data, (rows_arr, cols_arr)), shape=(n, n))
+
+
+__all__ = ["SymbolicFactor", "symbolic_factorize", "factor_pattern_csc"]

@@ -1,0 +1,41 @@
+"""Shared utilities: validation, FLOP formulas, ASCII tables."""
+
+from repro.util.flops import (
+    cholesky_flops,
+    gemm_flops,
+    spmm_flops,
+    stepped_syrk_flops,
+    stepped_trsm_dense_flops,
+    syrk_flops,
+    trsm_dense_flops,
+    trsm_sparse_flops,
+)
+from repro.util.tables import Table, format_series, format_si
+from repro.util.validation import (
+    check_dense_matrix,
+    check_lower_triangular,
+    check_permutation,
+    check_sparse_square,
+    check_square,
+    require,
+)
+
+__all__ = [
+    "require",
+    "check_square",
+    "check_sparse_square",
+    "check_dense_matrix",
+    "check_lower_triangular",
+    "check_permutation",
+    "trsm_dense_flops",
+    "trsm_sparse_flops",
+    "syrk_flops",
+    "gemm_flops",
+    "spmm_flops",
+    "cholesky_flops",
+    "stepped_trsm_dense_flops",
+    "stepped_syrk_flops",
+    "Table",
+    "format_series",
+    "format_si",
+]

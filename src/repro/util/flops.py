@@ -1,0 +1,80 @@
+"""Floating-point operation counts for the BLAS/sparse kernels in this repo.
+
+These formulas drive the simulated-device cost model (`repro.gpu.costmodel`).
+All counts are in double-precision FLOPs (one multiply-add = 2 FLOPs) and
+match the conventions used by vendor BLAS documentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def trsm_dense_flops(n: int, m: int) -> float:
+    """FLOPs of a dense triangular solve ``L^{-1} X`` with ``L`` of order *n*
+    and *m* right-hand-side columns: ``n^2 * m`` multiply-adds → ``n^2 m``.
+
+    (LAPACK convention counts TRSM as n^2*m flops.)
+    """
+    return float(n) * float(n) * float(m)
+
+
+def trsm_sparse_flops(nnz_l: int, m: int) -> float:
+    """FLOPs of a sparse triangular solve with dense RHS.
+
+    Each stored nonzero of ``L`` below the diagonal contributes one
+    multiply-add per RHS column, diagonal entries one division each:
+    ``2 * nnz(L) * m`` is the standard estimate.
+    """
+    return 2.0 * float(nnz_l) * float(m)
+
+
+def syrk_flops(n: int, k: int) -> float:
+    """FLOPs of ``C = A^T A`` with ``A`` of shape (k, n), lower triangle only:
+    ``k * n * (n + 1)``."""
+    return float(k) * float(n) * (float(n) + 1.0)
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """FLOPs of a dense ``(m x k) @ (k x n)`` product: ``2 m n k``."""
+    return 2.0 * float(m) * float(n) * float(k)
+
+
+def spmm_flops(nnz_a: int, n: int) -> float:
+    """FLOPs of a sparse (nnz_a stored entries) times dense (k x n) product:
+    ``2 * nnz(A) * n``."""
+    return 2.0 * float(nnz_a) * float(n)
+
+
+def cholesky_flops(col_counts: np.ndarray) -> float:
+    """FLOPs of a sparse Cholesky factorization given the per-column nonzero
+    counts of the factor ``L`` (including the diagonal).
+
+    Column *j* with ``c_j`` nonzeros costs ``c_j^2`` multiply-adds for the
+    outer-product update plus ``c_j`` for the scaling — the classic
+    ``sum(c_j^2 + c_j)`` estimate (Davis, *Direct Methods*, §4).
+    """
+    c = np.asarray(col_counts, dtype=np.float64)
+    return float(np.sum(c * c + c))
+
+
+def stepped_trsm_dense_flops(pivots: np.ndarray, n: int) -> float:
+    """Exact dense-TRSM FLOPs when zeros above column pivots are skipped.
+
+    Column *j* with pivot ``p_j`` only needs the subsystem of order
+    ``n - p_j``: sum over columns of ``(n - p_j)^2``.
+    """
+    rem = n - np.asarray(pivots, dtype=np.float64)
+    return float(np.sum(rem * rem))
+
+
+def stepped_syrk_flops(pivots: np.ndarray, n_rows: int) -> float:
+    """Exact SYRK FLOPs when the stepped zero pattern is skipped.
+
+    Output entry (i, j), i >= j, needs ``n_rows - max(p_i, p_j) = n_rows - p_i``
+    multiply-adds (pivots sorted ascending), i.e. ``2 * sum_i (i+1) * (n-p_i)``
+    counting multiply+add.
+    """
+    p = np.asarray(pivots, dtype=np.float64)
+    i = np.arange(p.size, dtype=np.float64)
+    return float(np.sum(2.0 * (i + 1.0) * np.maximum(n_rows - p, 0.0)))

@@ -1,0 +1,96 @@
+"""ASCII table / series formatting for the benchmark harness.
+
+The paper's evaluation is a set of log-log line plots and one table; the
+benchmark scripts print the same data as aligned text tables (one row per
+x-value, one column per series) so results can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Format *value* with an SI prefix (e.g. ``1.23e7 -> '12.3M'``)."""
+    if value != value:  # NaN
+        return "nan"
+    neg = value < 0
+    v = abs(value)
+    for thresh, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if v >= thresh:
+            return f"{'-' if neg else ''}{v / thresh:.3g}{suffix}{unit}"
+    if v >= 1 or v == 0:
+        return f"{'-' if neg else ''}{v:.3g}{unit}"
+    for thresh, suffix in ((1e-3, "m"), (1e-6, "u"), (1e-9, "n")):
+        if v >= thresh:
+            return f"{'-' if neg else ''}{v / thresh:.3g}{suffix}{unit}"
+    return f"{'-' if neg else ''}{v:.3g}{unit}"
+
+
+class Table:
+    """A simple aligned-column ASCII table builder.
+
+    >>> t = Table(["size", "time"])
+    >>> t.add_row([100, 0.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [c if isinstance(c, str) else _fmt_cell(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _fmt_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Format one x-column plus one column per named series (paper-figure style)."""
+    table = Table([x_label, *series.keys()], title=title)
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(values[i] if i < len(values) else float("nan"))
+        table.add_row(row)
+    return table.render()

@@ -1,0 +1,68 @@
+"""Argument validation helpers used across the library.
+
+Every public entry point validates its inputs through these helpers so that
+misuse fails fast with a clear message instead of deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_square(a: np.ndarray, name: str = "matrix") -> int:
+    """Check that *a* is a square 2-D dense array and return its order."""
+    a = np.asarray(a)
+    require(a.ndim == 2, f"{name} must be 2-D, got ndim={a.ndim}")
+    require(a.shape[0] == a.shape[1], f"{name} must be square, got {a.shape}")
+    return a.shape[0]
+
+
+def check_sparse_square(a: sp.spmatrix, name: str = "matrix") -> int:
+    """Check that *a* is a square SciPy sparse matrix and return its order."""
+    require(sp.issparse(a), f"{name} must be a scipy.sparse matrix")
+    require(a.shape[0] == a.shape[1], f"{name} must be square, got {a.shape}")
+    return a.shape[0]
+
+
+def check_dense_matrix(a: np.ndarray, name: str = "matrix") -> tuple[int, int]:
+    """Check that *a* is a 2-D dense float array and return its shape."""
+    require(isinstance(a, np.ndarray), f"{name} must be a numpy array")
+    require(a.ndim == 2, f"{name} must be 2-D, got ndim={a.ndim}")
+    return a.shape
+
+
+def check_lower_triangular(
+    a: np.ndarray | sp.spmatrix, name: str = "factor", tol: float = 0.0
+) -> None:
+    """Check that *a* has no entries above the main diagonal.
+
+    For sparse input only the stored pattern is inspected; explicit stored
+    zeros above the diagonal are allowed.
+    """
+    if sp.issparse(a):
+        coo = a.tocoo()
+        above = coo.col > coo.row
+        if above.any() and np.abs(coo.data[above]).max() > tol:
+            raise ValueError(f"{name} has nonzeros above the diagonal")
+    else:
+        a = np.asarray(a)
+        upper = np.triu(a, k=1)
+        if upper.size and np.abs(upper).max() > tol:
+            raise ValueError(f"{name} has nonzeros above the diagonal")
+
+
+def check_permutation(p: np.ndarray, n: int, name: str = "permutation") -> np.ndarray:
+    """Check that *p* is a permutation of ``range(n)`` and return it as intp."""
+    p = np.asarray(p, dtype=np.intp)
+    require(p.shape == (n,), f"{name} must have shape ({n},), got {p.shape}")
+    seen = np.zeros(n, dtype=bool)
+    seen[p] = True
+    require(bool(seen.all()), f"{name} is not a permutation of range({n})")
+    return p

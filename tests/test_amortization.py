@@ -1,0 +1,83 @@
+"""Tests for the amortization-point analysis (Fig. 1 / Fig. 10 logic)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.feti import (
+    ApproachTiming,
+    amortization_point,
+    best_approach,
+    crossover_table,
+)
+
+
+def test_total_time_linear_in_iterations():
+    t = ApproachTiming("x", preprocessing=2.0, apply_per_iteration=0.5)
+    assert t.total(0) == 2.0
+    assert t.total(10) == 7.0
+    with pytest.raises(ValueError):
+        t.total(-1)
+
+
+def test_amortization_point_basic():
+    impl = ApproachTiming("impl", preprocessing=1.0, apply_per_iteration=1.0)
+    expl = ApproachTiming("expl", preprocessing=11.0, apply_per_iteration=0.5)
+    ap = amortization_point(impl, expl)
+    assert ap == 20
+    # At the amortization point the explicit total is at most the implicit.
+    assert expl.total(int(ap)) <= impl.total(int(ap))
+    assert expl.total(int(ap) - 2) > impl.total(int(ap) - 2)
+
+
+def test_amortization_point_explicit_never_behind():
+    impl = ApproachTiming("impl", preprocessing=5.0, apply_per_iteration=1.0)
+    expl = ApproachTiming("expl", preprocessing=4.0, apply_per_iteration=0.5)
+    assert amortization_point(impl, expl) == 0.0
+
+
+def test_amortization_point_never_amortizes():
+    impl = ApproachTiming("impl", preprocessing=1.0, apply_per_iteration=0.5)
+    expl = ApproachTiming("expl", preprocessing=2.0, apply_per_iteration=0.5)
+    assert math.isinf(amortization_point(impl, expl))
+    expl2 = ApproachTiming("expl", preprocessing=2.0, apply_per_iteration=0.6)
+    assert math.isinf(amortization_point(impl, expl2))
+
+
+def test_best_approach_and_crossover():
+    impl = ApproachTiming("impl", preprocessing=1.0, apply_per_iteration=1.0)
+    expl = ApproachTiming("expl", preprocessing=50.0, apply_per_iteration=0.1)
+    assert best_approach([impl, expl], 10).name == "impl"
+    assert best_approach([impl, expl], 1000).name == "expl"
+    table = crossover_table([impl, expl], [1, 10, 100, 1000])
+    names = [name for _, name, _ in table]
+    # Monotone transition: once explicit wins it keeps winning.
+    assert names == sorted(names, key=lambda n: n == "expl")
+    with pytest.raises(ValueError):
+        best_approach([], 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    prep_i=st.floats(0.001, 100),
+    prep_e=st.floats(0.001, 100),
+    app_i=st.floats(0.001, 10),
+    app_e=st.floats(0.001, 10),
+)
+def test_property_amortization_is_crossing(prep_i, prep_e, app_i, app_e):
+    impl = ApproachTiming("i", prep_i, app_i)
+    expl = ApproachTiming("e", prep_e, app_e)
+    ap = amortization_point(impl, expl)
+    if ap == 0.0:
+        assert prep_e <= prep_i
+    elif math.isinf(ap):
+        assert app_e >= app_i
+    else:
+        n = int(ap)
+        assert expl.total(n) <= impl.total(n) + 1e-9
+        if n >= 1:
+            assert expl.total(n - 1) >= impl.total(n - 1) - 1e-6

@@ -1,0 +1,89 @@
+"""Tests for the benchmark harness: workloads, report, experiment drivers."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    cells_for_dofs,
+    clear_workload_cache,
+    make_workload,
+    run_experiment,
+    size_ladder,
+)
+from repro.bench.workloads import PAPER_DOFS_2D, PAPER_DOFS_3D
+
+
+def test_cells_for_dofs_round_trip():
+    assert cells_for_dofs(3, 2744) == 13  # 14^3 = 2744 nodes
+    assert cells_for_dofs(3, 35937) == 32  # 33^3
+    assert cells_for_dofs(2, 100) == 9  # 10^2
+    with pytest.raises(ValueError):
+        cells_for_dofs(4, 100)
+    with pytest.raises(ValueError):
+        cells_for_dofs(2, 1)
+
+
+def test_size_ladders():
+    assert size_ladder(2) == PAPER_DOFS_2D
+    assert size_ladder(3) == PAPER_DOFS_3D
+    assert size_ladder(3, paper_scale=True)[-1] == 68921
+    assert size_ladder(3, cap=1000) == [64, 125, 216, 343, 729]
+    with pytest.raises(ValueError):
+        size_ladder(4)
+
+
+def test_make_workload_properties():
+    wl = make_workload(3, 729)
+    assert wl.dim == 3
+    assert wl.n_dofs == 729
+    # One multiplier per boundary node: 9^3 - 7^3.
+    assert wl.n_multipliers == 729 - 343
+    assert wl.bt.shape == (729, wl.n_multipliers)
+    assert wl.factor.n == 729
+    assert wl.label == "3D/729"
+    # K_reg is SPD (factorization succeeded) while K itself is singular.
+    assert np.abs(wl.factor.l @ wl.factor.l.T
+                  - wl.k_reg.tocsr()[wl.factor.perm][:, wl.factor.perm]).max() < 1e-8
+
+
+def test_make_workload_cached():
+    clear_workload_cache()
+    a = make_workload(2, 578)
+    b = make_workload(2, 578)
+    assert a is b
+    c = make_workload(2, 578, use_cache=False)
+    assert c is not a
+    clear_workload_cache()
+    d = make_workload(2, 578)
+    assert d is not a
+
+
+def test_experiment_result_render_and_save(tmp_path):
+    res = ExperimentResult("figXX", "demo experiment")
+    res.add_series("series", "n", [1, 2], {"t": [0.1, 0.2]})
+    res.metrics["speedup"] = 3.14
+    res.add_note("a note")
+    text = res.render()
+    assert "figXX" in text and "speedup" in text and "a note" in text
+    path = res.save(str(tmp_path))
+    assert os.path.exists(path)
+    with open(path) as fh:
+        assert "demo experiment" in fh.read()
+
+
+def test_run_experiment_unknown():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+@pytest.mark.slow
+def test_fig05_driver_smoke():
+    """One full driver run on tiny sizes to guard against bit-rot."""
+    res = run_experiment("fig05", quick=True)
+    assert res.metrics["u_shape_penalty_small_3k"] > 1.0
+    assert any("fig05" in name for name, _ in res.tables)

@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig05" in out and "table1" in out and "ablation_ordering" in out
+
+
+def test_cli_solve_2d(capsys):
+    rc = main(
+        ["solve", "--dim", "2", "--cells", "12", "--grid", "2x2", "--approach", "impl_mkl"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "converged=True" in out
+    assert "impl_mkl" in out
+
+
+def test_cli_solve_auto(capsys):
+    rc = main(["solve", "--cells", "12", "--grid", "2x2", "--approach", "auto"])
+    assert rc == 0
+    assert "approach:" in capsys.readouterr().out
+
+
+def test_cli_run_saves_results(tmp_path, capsys):
+    rc = main(["run", "fig05", "--out", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fig05" in out
+    assert (tmp_path / "fig05.txt").exists()
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        main(["run", "fig99"])
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,216 @@
+"""Tests for partitioning, subdomains, gluing and decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dd import (
+    Cluster,
+    decompose,
+    make_clusters,
+    partition_elements,
+    subdomain_grid_for,
+)
+from repro.fem import heat_transfer_2d, heat_transfer_3d, unit_square_mesh
+
+
+def test_partition_covers_all_elements():
+    m = unit_square_mesh(8)
+    owner = partition_elements(m, (2, 2))
+    assert owner.size == m.n_elements
+    assert set(owner.tolist()) == {0, 1, 2, 3}
+    counts = np.bincount(owner)
+    assert counts.min() == counts.max()  # balanced on a uniform mesh
+
+
+def test_partition_3d_grid():
+    from repro.fem import unit_cube_mesh
+
+    m = unit_cube_mesh(4)
+    owner = partition_elements(m, (2, 2, 2))
+    assert len(set(owner.tolist())) == 8
+
+
+def test_partition_validates_grid():
+    m = unit_square_mesh(4)
+    with pytest.raises(ValueError):
+        partition_elements(m, (2,))
+    with pytest.raises(ValueError):
+        partition_elements(m, (0, 2))
+
+
+def test_subdomain_grid_for():
+    assert subdomain_grid_for(4, 2) == (2, 2)
+    assert subdomain_grid_for(5, 2) == (3, 3)
+    assert subdomain_grid_for(8, 3) == (2, 2, 2)
+    with pytest.raises(ValueError):
+        subdomain_grid_for(0, 2)
+
+
+def test_make_clusters_balanced():
+    clusters = make_clusters(10, 3)
+    sizes = [c.size for c in clusters]
+    assert sum(sizes) == 10
+    assert max(sizes) - min(sizes) <= 1
+    all_ids = np.concatenate([c.subdomain_ids for c in clusters])
+    assert sorted(all_ids.tolist()) == list(range(10))
+
+
+def test_make_clusters_validates():
+    with pytest.raises(ValueError):
+        make_clusters(3, 4)
+    with pytest.raises(ValueError):
+        make_clusters(0, 1)
+
+
+def test_decompose_requires_exactly_one_spec():
+    p = heat_transfer_2d(4)
+    with pytest.raises(ValueError):
+        decompose(p)
+    with pytest.raises(ValueError):
+        decompose(p, grid=(2, 2), n_subdomains=4)
+
+
+def test_floating_flags():
+    p = heat_transfer_2d(8, dirichlet=("left",))
+    dec = decompose(p, grid=(2, 2))
+    # The two subdomains touching the left face are pinned, the others float.
+    floating = sorted(s.floating for s in dec.subdomains)
+    assert floating == [False, False, True, True]
+    for s in dec.subdomains:
+        assert s.kernel_dim == (1 if s.floating else 0)
+        if s.floating:
+            assert np.abs(s.k @ s.r).max() < 1e-12
+
+
+def test_local_stiffness_sums_to_global():
+    p = heat_transfer_2d(10, dirichlet=("left",))
+    dec = decompose(p, grid=(2, 3))
+    k_ff, f_f, free = p.reduced()
+    g2l = -np.ones(p.n_dofs, dtype=np.intp)
+    g2l[free] = np.arange(free.size)
+    acc = np.zeros((free.size, free.size))
+    f_acc = np.zeros(free.size)
+    for s in dec.subdomains:
+        li = g2l[s.free_nodes]
+        assert (li >= 0).all()
+        acc[np.ix_(li, li)] += s.k.toarray()
+        f_acc[li] += s.f
+    assert np.allclose(acc, k_ff.toarray(), atol=1e-12)
+    assert np.allclose(f_acc, f_f, atol=1e-12)
+
+
+@pytest.mark.parametrize("gluing", ["redundant", "chain"])
+def test_gluing_consistency(gluing):
+    p = heat_transfer_2d(9, dirichlet=("left",))
+    dec = decompose(p, grid=(3, 3), gluing=gluing)
+    assert dec.check_consistency()
+    assert dec.n_multipliers > 0
+
+
+def test_redundant_has_more_multipliers_than_chain():
+    p = heat_transfer_2d(8, dirichlet=("left",))
+    dec_r = decompose(p, grid=(2, 2), gluing="redundant")
+    dec_c = decompose(p, grid=(2, 2), gluing="chain")
+    # They differ only at cross points (nodes shared by 4 subdomains).
+    assert dec_r.n_multipliers > dec_c.n_multipliers
+
+
+def test_unknown_gluing_rejected():
+    p = heat_transfer_2d(4)
+    with pytest.raises(ValueError, match="unknown gluing"):
+        decompose(p, grid=(2, 2), gluing="mortar")
+
+
+def test_bt_shape_and_signs():
+    p = heat_transfer_2d(6, dirichlet=("left",))
+    dec = decompose(p, grid=(2, 1), gluing="chain")
+    s0, s1 = dec.subdomains
+    assert s0.bt.shape == (s0.n_dofs, s0.n_multipliers)
+    # Chain gluing between exactly two subdomains: +1 rows in the lower
+    # indexed one, -1 in the other; one multiplier per shared node.
+    assert np.all(s0.bt.data == 1.0)
+    assert np.all(s1.bt.data == -1.0)
+    assert np.array_equal(s0.multiplier_ids, s1.multiplier_ids)
+
+
+def test_saddle_point_solution_matches_direct():
+    """Direct solve of the torn block system == direct solve of the global
+    problem (chain gluing keeps the saddle system nonsingular)."""
+    p = heat_transfer_2d(12, dirichlet=("left",))
+    dec = decompose(p, grid=(3, 2), gluing="chain")
+    ks = sp.block_diag([s.k for s in dec.subdomains], format="csr")
+    offs = np.cumsum([0] + [s.n_dofs for s in dec.subdomains])
+    rows, cols, vals = [], [], []
+    for i, s in enumerate(dec.subdomains):
+        bt = s.bt.tocoo()
+        rows.extend(s.multiplier_ids[bt.col].tolist())
+        cols.extend((offs[i] + bt.row).tolist())
+        vals.extend(bt.data.tolist())
+    b = sp.csr_matrix((vals, (rows, cols)), shape=(dec.n_multipliers, offs[-1]))
+    sys = sp.bmat([[ks, b.T], [b, None]], format="csc")
+    rhs = np.concatenate(
+        [np.concatenate([s.f for s in dec.subdomains]), np.zeros(dec.n_multipliers)]
+    )
+    sol = sp.linalg.spsolve(sys, rhs)
+    u_locals = [sol[offs[i] : offs[i + 1]] for i in range(dec.n_subdomains)]
+    u = dec.expand_solution(u_locals)
+    assert np.allclose(u, p.solve_direct(), atol=1e-9)
+
+
+def test_gather_scatter_dual_roundtrip(rng):
+    p = heat_transfer_2d(8, dirichlet=("left",))
+    dec = decompose(p, grid=(2, 2))
+    lam = rng.standard_normal(dec.n_multipliers)
+    locals_ = dec.scatter_dual(lam)
+    assert all(
+        np.array_equal(loc, lam[s.multiplier_ids])
+        for loc, s in zip(locals_, dec.subdomains)
+    )
+    # Each multiplier belongs to exactly two subdomains.
+    counts = np.zeros(dec.n_multipliers)
+    for s in dec.subdomains:
+        counts[s.multiplier_ids] += 1
+    assert np.all(counts == 2)
+
+
+def test_3d_decomposition():
+    p = heat_transfer_3d(4, dirichlet=("left",))
+    dec = decompose(p, grid=(2, 2, 1))
+    assert dec.n_subdomains == 4
+    assert dec.check_consistency()
+    assert any(s.floating for s in dec.subdomains)
+
+
+def test_n_subdomains_interface():
+    p = heat_transfer_2d(8, dirichlet=("left",))
+    dec = decompose(p, n_subdomains=4)
+    assert dec.n_subdomains == 4
+
+
+def test_regularized_is_spd():
+    p = heat_transfer_2d(8, dirichlet=("left",))
+    dec = decompose(p, grid=(2, 2))
+    from repro.sparse import cholesky
+
+    for s in dec.subdomains:
+        f = cholesky(s.regularized(), ordering="amd")  # must not raise
+        assert f.n == s.n_dofs
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(4, 12),
+    px=st.integers(1, 3),
+    py=st.integers(1, 3),
+)
+def test_property_decomposition_consistency(n, px, py):
+    p = heat_transfer_2d(n, dirichlet=("left",))
+    dec = decompose(p, grid=(px, py))
+    assert dec.check_consistency()
+    covered = np.concatenate([s.element_ids for s in dec.subdomains])
+    assert sorted(covered.tolist()) == list(range(p.mesh.n_elements))

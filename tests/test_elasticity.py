@@ -1,0 +1,199 @@
+"""Tests for the elasticity substrate and its FETI workload integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import make_elasticity_workload
+from repro.core import SchurAssembler, default_config
+from repro.fem import (
+    assemble_body_force,
+    assemble_elasticity,
+    boundary_dofs,
+    elastic_moduli,
+    eliminate_dirichlet,
+    p1_elasticity_stiffness,
+    rigid_body_modes,
+    unit_cube_mesh,
+    unit_square_mesh,
+)
+from repro.sparse import (
+    NotPositiveDefiniteError,
+    cholesky,
+    choose_fixing_nodes,
+    regularize,
+    solve_lower,
+)
+
+
+def test_elastic_moduli_shapes_and_spd():
+    d2 = elastic_moduli(1.0, 0.3, 2)
+    d3 = elastic_moduli(210e9, 0.28, 3)
+    assert d2.shape == (3, 3) and d3.shape == (6, 6)
+    assert np.all(np.linalg.eigvalsh(d2) > 0)
+    assert np.all(np.linalg.eigvalsh(d3) > 0)
+
+
+def test_elastic_moduli_validates():
+    with pytest.raises(ValueError):
+        elastic_moduli(-1.0, 0.3, 2)
+    with pytest.raises(ValueError):
+        elastic_moduli(1.0, 0.5, 2)
+    with pytest.raises(ValueError):
+        elastic_moduli(1.0, 0.3, 4)
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_local_stiffness_rbm_kernel(dim):
+    """Element stiffness must annihilate rigid-body modes exactly."""
+    mesh = unit_square_mesh(2) if dim == 2 else unit_cube_mesh(2)
+    ke = p1_elasticity_stiffness(mesh.coords, mesh.elements)
+    for e in range(0, mesh.n_elements, 3):
+        verts = mesh.elements[e]
+        modes = rigid_body_modes(mesh.coords[verts])
+        local = ke[e]
+        assert np.abs(local @ modes).max() < 1e-12
+        # Symmetric positive semi-definite.
+        assert np.allclose(local, local.T, atol=1e-13)
+        assert np.linalg.eigvalsh(local).min() > -1e-12
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_global_stiffness_rbm_kernel(dim):
+    mesh = unit_square_mesh(5) if dim == 2 else unit_cube_mesh(3)
+    k = assemble_elasticity(mesh)
+    r = rigid_body_modes(mesh.coords)
+    assert k.shape == (mesh.n_nodes * dim,) * 2
+    assert np.abs(k @ r).max() < 1e-10
+    assert (abs(k - k.T)).max() < 1e-12
+    # Kernel dimension is exactly 3 (2-D) / 6 (3-D): K + R R^T is SPD.
+    reg = sp.csr_matrix(k + sp.csr_matrix(r @ r.T))
+    assert np.linalg.eigvalsh(reg.toarray()).min() > 1e-10
+
+
+def test_rigid_body_modes_orthonormal():
+    mesh = unit_cube_mesh(2)
+    r = rigid_body_modes(mesh.coords)
+    assert r.shape == (3 * mesh.n_nodes, 6)
+    assert np.allclose(r.T @ r, np.eye(6), atol=1e-12)
+
+
+def test_rigid_body_modes_validates():
+    with pytest.raises(ValueError):
+        rigid_body_modes(np.zeros((4, 1)))
+
+
+def test_clamped_gravity_bends_down():
+    mesh = unit_square_mesh(6)
+    k = assemble_elasticity(mesh)
+    f = assemble_body_force(mesh, np.array([0.0, -1.0]))
+    bd = boundary_dofs(mesh, ("left",))
+    k_ff, ff, free = eliminate_dirichlet(k, f, bd)
+    u = sp.linalg.spsolve(k_ff.tocsc(), ff)
+    full = np.zeros(k.shape[0])
+    full[free] = u
+    uy = full[1::2]
+    assert uy.mean() < 0  # sags under gravity
+    # Deflection grows towards the free (right) end.
+    right = mesh.boundary_groups["right"]
+    left = mesh.boundary_groups["left"]
+    assert np.abs(uy[right]).mean() > np.abs(uy[left]).mean()
+
+
+def test_body_force_total():
+    mesh = unit_square_mesh(4)
+    f = assemble_body_force(mesh, np.array([0.0, -2.0]))
+    # Total force = integral of the body force = -2 * area.
+    assert np.isclose(f[1::2].sum(), -2.0)
+    assert np.isclose(f[0::2].sum(), 0.0)
+    with pytest.raises(ValueError):
+        assemble_body_force(mesh, np.array([1.0, 2.0, 3.0]))
+
+
+def test_boundary_dofs():
+    mesh = unit_square_mesh(3)
+    dofs = boundary_dofs(mesh, ("left",))
+    assert dofs.size == 2 * 4  # 4 nodes x 2 components
+    assert boundary_dofs(mesh, ()).size == 0
+    with pytest.raises(ValueError):
+        boundary_dofs(mesh, ("north",))
+
+
+def test_fixing_nodes_make_elasticity_spd():
+    """Component-wise fixing can fail; node-wise fixing must succeed."""
+    mesh = unit_square_mesh(5)
+    k = assemble_elasticity(mesh)
+    fixing = choose_fixing_nodes(mesh.coords, 3, dofs_per_node=2)
+    k_reg = regularize(k, fixing)
+    factor = cholesky(k_reg, ordering="amd")  # must not raise
+    assert factor.n == k.shape[0]
+    # Unregularized matrix is singular.
+    with pytest.raises(NotPositiveDefiniteError):
+        cholesky(sp.csr_matrix(k), ordering="amd")
+
+
+def test_choose_fixing_nodes_validates():
+    coords = np.zeros((5, 2))
+    with pytest.raises(ValueError):
+        choose_fixing_nodes(coords, 0, 2)
+    with pytest.raises(ValueError):
+        choose_fixing_nodes(coords, 6, 2)
+    with pytest.raises(ValueError):
+        choose_fixing_nodes(np.zeros(5), 1, 2)
+
+
+def test_generalized_inverse_exact_with_kernel_pivoted_fixing():
+    """K K_reg^{-1} K == K *exactly* when #fixing DOFs == kernel dim and
+    R^T S is invertible (QR-pivoted selection)."""
+    from repro.sparse import choose_fixing_dofs_by_kernel
+
+    mesh = unit_square_mesh(3)
+    k = assemble_elasticity(mesh)
+    r = rigid_body_modes(mesh.coords)
+    fixing = choose_fixing_dofs_by_kernel(r)
+    assert fixing.size == 3  # exactly the kernel dimension
+    factor = cholesky(regularize(k, fixing), ordering="amd")
+    kd = k.toarray()
+    kplus_k = np.column_stack([factor.solve(kd[:, j]) for j in range(kd.shape[1])])
+    assert np.allclose(kd @ kplus_k, kd, atol=1e-9)
+
+
+def test_generalized_inverse_inexact_when_overfixed():
+    """Fixing *more* DOFs than the kernel dimension destroys the exact
+    generalized-inverse identity — the algebra behind the fixing-node rule."""
+    mesh = unit_square_mesh(3)
+    k = assemble_elasticity(mesh)
+    fixing = choose_fixing_nodes(mesh.coords, 3, dofs_per_node=2)  # 6 > 3
+    factor = cholesky(regularize(k, fixing), ordering="amd")
+    kd = k.toarray()
+    kplus_k = np.column_stack([factor.solve(kd[:, j]) for j in range(kd.shape[1])])
+    assert not np.allclose(kd @ kplus_k, kd, atol=1e-7)
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_elasticity_workload_sc_exact(dim):
+    wl = make_elasticity_workload(dim, 900)
+    res = SchurAssembler(config=default_config("gpu", dim)).assemble(wl.factor, wl.bt)
+    y = solve_lower(wl.factor.l, wl.bt.tocsr()[wl.factor.perm].toarray())
+    assert np.allclose(res.f, y.T @ y, atol=1e-8)
+    assert wl.n_dofs % dim == 0
+    assert wl.n_multipliers % dim == 0
+
+
+def test_elasticity_workload_cached():
+    a = make_elasticity_workload(2, 500)
+    b = make_elasticity_workload(2, 500)
+    assert a is b
+
+
+@settings(max_examples=8, deadline=None)
+@given(nx=st.integers(2, 6), nu=st.floats(0.0, 0.45))
+def test_property_2d_elasticity_kernel(nx, nu):
+    mesh = unit_square_mesh(nx)
+    k = assemble_elasticity(mesh, e=1.0, nu=nu)
+    r = rigid_body_modes(mesh.coords)
+    assert np.abs(k @ r).max() < 1e-9

@@ -1,0 +1,129 @@
+"""The dry-run estimator must charge *identical* costs to the executed path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    AssemblyConfig,
+    SchurAssembler,
+    baseline_config,
+    by_count,
+    by_size,
+    default_config,
+)
+from repro.core.estimate import FactorPattern, estimate_assembly
+from repro.dd import decompose
+from repro.fem import heat_transfer_2d
+from repro.gpu import A100_40GB, EPYC_7763_CORE
+from repro.sparse import cholesky
+from tests.conftest import random_spd
+
+
+@pytest.fixture(scope="module")
+def workload():
+    p = heat_transfer_2d(20, dirichlet=("left",))
+    dec = decompose(p, grid=(2, 2))
+    sub = next(s for s in dec.subdomains if s.floating)
+    factor = cholesky(sub.regularized(), ordering="nd", coords=sub.coords)
+    return factor, sub.bt
+
+
+CONFIGS = [
+    baseline_config("sparse"),
+    baseline_config("dense"),
+    default_config("gpu", 2),
+    default_config("gpu", 3),
+    default_config("cpu", 2),
+    default_config("cpu", 3),
+    AssemblyConfig(
+        trsm_variant="rhs_split",
+        syrk_variant="output_split",
+        trsm_blocks=by_size(13),
+        syrk_blocks=by_count(4),
+        factor_storage="sparse",
+    ),
+    AssemblyConfig(
+        trsm_variant="rhs_split",
+        syrk_variant="input_split",
+        trsm_blocks=by_count(3),
+        syrk_blocks=by_size(17),
+        factor_storage="dense",
+    ),
+    AssemblyConfig(
+        trsm_variant="factor_split",
+        syrk_variant="output_split",
+        trsm_blocks=by_size(11),
+        syrk_blocks=by_size(9),
+        factor_storage="sparse",
+        prune=False,
+    ),
+    AssemblyConfig(
+        trsm_variant="factor_split",
+        syrk_variant="input_split",
+        trsm_blocks=by_size(7),
+        syrk_blocks=by_size(1000),
+        factor_storage="dense",
+        prune=True,
+    ),
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.describe())
+@pytest.mark.parametrize("spec", [A100_40GB, EPYC_7763_CORE], ids=lambda s: s.kind)
+def test_estimate_matches_executed_breakdown(config, spec, workload):
+    factor, bt = workload
+    assembler = SchurAssembler(config=config, spec=spec)
+    executed = assembler.assemble(factor, bt)
+    estimated = assembler.estimate(factor, bt)
+    for stage in ("transfer", "permute", "trsm", "syrk"):
+        assert estimated[stage] == pytest.approx(
+            executed.breakdown[stage], rel=1e-12, abs=1e-18
+        ), stage
+    assert estimated["total"] == pytest.approx(executed.elapsed, rel=1e-12)
+
+
+def test_estimate_random_matrix_agreement():
+    factor = cholesky(random_spd(60, 0.08, 5), ordering="amd")
+    bt = sp.random(60, 18, density=0.12, random_state=6, format="csc")
+    cfg = default_config("gpu", 3).with_overrides(trsm_blocks=by_size(9))
+    asm = SchurAssembler(config=cfg)
+    assert asm.estimate(factor, bt)["total"] == pytest.approx(
+        asm.assemble(factor, bt).elapsed, rel=1e-12
+    )
+
+
+def test_factor_pattern_helpers(workload):
+    factor, _ = workload
+    patt = FactorPattern.from_factor(factor)
+    assert patt.nnz == factor.nnz
+    assert patt.tail_nnz(0) == factor.nnz
+    assert patt.tail_nnz(factor.n) == 0
+    # Whole-matrix block equals nnz; empty block is zero.
+    assert patt.block_nnz(0, patt.n, 0, patt.n) == patt.nnz
+    assert patt.block_nnz(0, 0, 0, patt.n) == 0
+    dense = factor.l.toarray() != 0
+    r0, r1, c0, c1 = 3, 40, 2, 30
+    assert patt.block_nnz(r0, r1, c0, c1) == int(dense[r0:r1, c0:c1].sum())
+    assert patt.block_nonempty_rows(r0, r1, c0, c1) == int(
+        dense[r0:r1, c0:c1].any(axis=1).sum()
+    )
+
+
+def test_estimate_without_stepped_permutation(workload):
+    factor, bt = workload
+    asm = SchurAssembler(config=baseline_config("sparse"), spec=A100_40GB)
+    est = asm.estimate(factor, bt)
+    assert est["total"] > 0
+
+
+def test_estimate_validates(workload):
+    factor, bt = workload
+    with pytest.raises(ValueError):
+        estimate_assembly(factor, bt.toarray(), baseline_config(), A100_40GB)
+    with pytest.raises(ValueError):
+        estimate_assembly(
+            factor, sp.csc_matrix((factor.n + 1, 2)), baseline_config(), A100_40GB
+        )

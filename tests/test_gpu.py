@@ -1,0 +1,346 @@
+"""Tests for the simulated GPU substrate: specs, cost model, kernels, runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    A100_40GB,
+    EPYC_7763_CORE,
+    PCIE4_X16,
+    DeviceSpec,
+    Executor,
+    KernelCost,
+    MemoryPool,
+    OutOfDeviceMemoryError,
+    SimulatedGpu,
+    cpu_executor,
+    csx_bytes,
+    dense_bytes,
+    gpu_executor,
+)
+from repro.gpu import kernels
+from repro.sparse import cholesky
+from repro.util import trsm_dense_flops
+from tests.conftest import random_spd
+
+
+# ---------------------------------------------------------------------------
+# specs and cost model
+# ---------------------------------------------------------------------------
+
+
+def test_device_spec_validation():
+    with pytest.raises(ValueError):
+        DeviceSpec("x", "tpu", 1e9, 1e9, 0, 0.5, 1, 0.5, 1e9)
+    with pytest.raises(ValueError):
+        A100_40GB.with_overrides(peak_flops=-1)
+    spec = A100_40GB.with_overrides(launch_overhead=0.0)
+    assert spec.launch_overhead == 0.0
+    assert A100_40GB.launch_overhead > 0  # original untouched
+
+
+def test_transfer_time_monotone():
+    assert PCIE4_X16.time(0) == PCIE4_X16.latency
+    assert PCIE4_X16.time(2e9) > PCIE4_X16.time(1e9)
+    with pytest.raises(ValueError):
+        PCIE4_X16.time(-1)
+
+
+def test_kernel_cost_validation():
+    with pytest.raises(ValueError):
+        KernelCost(flops=-1)
+    with pytest.raises(ValueError):
+        KernelCost(bytes_moved=-1)
+
+
+def test_cost_addition_accumulates():
+    a = KernelCost(flops=100, bytes_moved=10, launches=1, char_dim=10)
+    b = KernelCost(flops=300, bytes_moved=30, launches=2, char_dim=50)
+    c = a + b
+    assert c.flops == 400 and c.bytes_moved == 40 and c.launches == 3
+    assert 10 < c.char_dim < 50  # flop-weighted
+
+
+def test_time_on_launch_floor():
+    tiny = KernelCost(flops=1, bytes_moved=1, launches=1, char_dim=1)
+    assert tiny.time_on(A100_40GB) >= A100_40GB.launch_overhead
+
+
+def test_time_on_compute_asymptote():
+    big = KernelCost(flops=1e15, bytes_moved=1.0, launches=1, char_dim=1e6)
+    t = big.time_on(A100_40GB)
+    ideal = 1e15 / (A100_40GB.peak_flops * A100_40GB.eff_max)
+    assert t == pytest.approx(ideal, rel=0.01)
+
+
+def test_time_on_memory_bound():
+    # Lots of bytes, no flops: time == bytes / bandwidth.
+    c = KernelCost(flops=0, bytes_moved=1.555e12, launches=0, char_dim=1)
+    assert c.time_on(A100_40GB) == pytest.approx(1.0, rel=1e-6)
+
+
+def test_sparse_discount_applies():
+    dense = KernelCost(flops=1e12, bytes_moved=0, launches=0, char_dim=1e5, sparse=False)
+    sparse = KernelCost(flops=1e12, bytes_moved=0, launches=0, char_dim=1e5, sparse=True)
+    assert sparse.time_on(A100_40GB) > 5 * dense.time_on(A100_40GB)
+
+
+def test_gpu_beats_cpu_large_loses_small():
+    big = KernelCost(
+        flops=trsm_dense_flops(30_000, 6_000),
+        bytes_moved=dense_bytes((30_000, 6_000)),
+        char_dim=6_000,
+    )
+    assert big.time_on(EPYC_7763_CORE) > 50 * big.time_on(A100_40GB)
+    # At tiny sizes the two are within an order of magnitude (launch bound).
+    small = KernelCost(flops=1e4, bytes_moved=1e4, char_dim=8)
+    ratio = small.time_on(A100_40GB) / small.time_on(EPYC_7763_CORE)
+    assert ratio > 0.3
+
+
+def test_byte_helpers():
+    assert dense_bytes((10, 10)) == 800
+    assert dense_bytes((2, 3), (4, 5)) == (6 + 20) * 8
+    assert csx_bytes(100, 10) == 100 * 12 + 11 * 4
+
+
+# ---------------------------------------------------------------------------
+# kernels: numerics + cost
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def factor():
+    return cholesky(random_spd(80, density=0.06, seed=2), ordering="amd")
+
+
+def test_kernel_trsm_dense(factor, rng):
+    ld = factor.l.toarray()
+    x = rng.standard_normal((80, 7))
+    x0 = x.copy()
+    cost = kernels.trsm_dense(ld, x)
+    assert np.allclose(factor.l @ x, x0, atol=1e-9)
+    assert cost.flops == trsm_dense_flops(80, 7)
+    cost_t = kernels.trsm_dense(ld, x, trans=True)
+    assert cost_t.flops == cost.flops
+
+
+def test_kernel_trsm_sparse(factor, rng):
+    x = rng.standard_normal((80, 7))
+    x0 = x.copy()
+    cost = kernels.trsm_sparse(factor.l, x)
+    assert np.allclose(factor.l @ x, x0, atol=1e-9)
+    assert cost.sparse
+
+
+def test_kernel_syrk(rng):
+    y = rng.standard_normal((40, 12))
+    c = np.ones((12, 12))
+    cost = kernels.syrk(y, c, alpha=2.0, beta=1.0)
+    assert np.allclose(c, 1.0 + 2.0 * y.T @ y, atol=1e-10)
+    assert cost.flops == pytest.approx(40 * 12 * 13)
+    c2 = np.full((12, 12), 9.0)
+    kernels.syrk(y, c2, beta=0.0)
+    assert np.allclose(c2, y.T @ y)
+
+
+def test_kernel_gemm(rng):
+    a = rng.standard_normal((5, 7))
+    b = rng.standard_normal((7, 3))
+    c = rng.standard_normal((5, 3))
+    c0 = c.copy()
+    cost = kernels.gemm(a, b, c, alpha=-1.0, beta=1.0)
+    assert np.allclose(c, c0 - a @ b, atol=1e-12)
+    assert cost.flops == 2 * 5 * 3 * 7
+    # transposed A
+    at = rng.standard_normal((7, 5))
+    c2 = np.zeros((5, 3))
+    kernels.gemm(at, b, c2, beta=0.0, trans_a=True)
+    assert np.allclose(c2, at.T @ b)
+
+
+def test_kernel_gemm_validates(rng):
+    with pytest.raises(ValueError):
+        kernels.gemm(np.ones((2, 3)), np.ones((4, 2)), np.ones((2, 2)))
+    with pytest.raises(ValueError):
+        kernels.gemm(np.ones((2, 3)), np.ones((3, 2)), np.ones((3, 3)))
+
+
+def test_kernel_spmm(rng):
+    a = sp.random(9, 6, density=0.4, random_state=1, format="csr")
+    b = rng.standard_normal((6, 4))
+    c = np.zeros((9, 4))
+    cost = kernels.spmm(a, b, c, beta=0.0)
+    assert np.allclose(c, a @ b)
+    assert cost.sparse
+
+
+def test_kernel_gather_scatter(rng):
+    x = rng.standard_normal((10, 4))
+    rows = np.array([1, 3, 7])
+    packed, _ = kernels.gather_rows(x, rows)
+    assert np.array_equal(packed, x[rows])
+    target = np.zeros((10, 4))
+    kernels.scatter_add_rows(target, rows, packed, sign=-1.0)
+    assert np.allclose(target[rows], -x[rows])
+    assert np.allclose(np.delete(target, rows, axis=0), 0.0)
+
+
+def test_kernel_extract_block_and_densify(factor):
+    block, _ = kernels.extract_sparse_block(factor.l, 20, 60, 10, 20)
+    assert block.shape == (40, 10)
+    assert np.allclose(block.toarray(), factor.l[20:60, 10:20].toarray())
+    dense, _ = kernels.densify(block)
+    assert np.allclose(dense, block.toarray())
+
+
+def test_kernel_permutations(rng):
+    x = rng.standard_normal((6, 9))
+    perm = np.random.default_rng(0).permutation(9)
+    y, _ = kernels.permute_columns(x, perm)
+    assert np.array_equal(y, x[:, perm])
+    back, _ = kernels.permute_columns(y, perm, inverse=True)
+    assert np.array_equal(back, x)
+
+    f = rng.standard_normal((9, 9))
+    fp, _ = kernels.symmetric_permute(f, perm, inverse=False)
+    assert np.array_equal(fp, f[np.ix_(perm, perm)])
+    fb, _ = kernels.symmetric_permute(fp, perm, inverse=True)
+    assert np.allclose(fb, f)
+
+
+# ---------------------------------------------------------------------------
+# executor and simulated GPU
+# ---------------------------------------------------------------------------
+
+
+def test_executor_accumulates_time(factor, rng):
+    ex = gpu_executor()
+    x = rng.standard_normal((80, 5))
+    assert ex.elapsed == 0.0
+    ex.trsm_sparse(factor.l, x)
+    t1 = ex.elapsed
+    assert t1 > 0
+    ex.syrk(x, np.zeros((5, 5)), beta=0.0)
+    assert ex.elapsed > t1
+    assert ex.ledger.calls == 2
+    ex.reset()
+    assert ex.elapsed == 0.0 and ex.ledger.calls == 0
+
+
+def test_cpu_executor_slower_on_large_dense(rng):
+    a = random_spd(400, density=0.02, seed=3)
+    f = cholesky(a, ordering="amd")
+    ld = f.l.toarray()
+    x = rng.standard_normal((400, 300))
+    cpu = cpu_executor()
+    gpu = gpu_executor()
+    cpu.trsm_dense(ld, x.copy())
+    gpu.trsm_dense(ld, x.copy())
+    assert cpu.elapsed > gpu.elapsed
+
+
+def test_streams_run_in_parallel():
+    g = SimulatedGpu(n_streams=4)
+    c = KernelCost(flops=1e9, bytes_moved=1e6, char_dim=1000)
+    ends = [g.submit(i, c)[1] for i in range(4)]
+    assert len({round(e, 12) for e in ends}) == 1  # same finish time
+    # Serial within one stream:
+    s, e = g.submit(0, c)
+    assert s == pytest.approx(ends[0])
+
+
+def test_stream_ready_time_respected():
+    g = SimulatedGpu(n_streams=1)
+    c = KernelCost(flops=1e6, bytes_moved=1e3, char_dim=100)
+    start, _ = g.submit(0, c, t_ready=5.0)
+    assert start == 5.0
+
+
+def test_events_order_streams():
+    g = SimulatedGpu(n_streams=2)
+    c = KernelCost(flops=1e9, bytes_moved=1e6, char_dim=1000)
+    g.submit(0, c)
+    ev = g.record_event(0)
+    g.wait_event(1, ev)
+    start, _ = g.submit(1, c)
+    assert start >= ev.time
+
+
+def test_transfers_priced_by_pcie():
+    g = SimulatedGpu(n_streams=1)
+    s, e = g.transfer_h2d(0, 24e9)  # one second of PCIe
+    assert e - s == pytest.approx(1.0 + PCIE4_X16.latency)
+    s2, e2 = g.transfer_d2h(0, 0.0)
+    assert e2 - s2 == pytest.approx(PCIE4_X16.latency)
+
+
+def test_synchronize_and_reset():
+    g = SimulatedGpu(n_streams=3)
+    g.submit(2, KernelCost(flops=1e10, bytes_moved=0, char_dim=1e4))
+    assert g.synchronize() > 0
+    g.reset()
+    assert g.synchronize() == 0.0
+
+
+def test_bad_stream_rejected():
+    g = SimulatedGpu(n_streams=2)
+    with pytest.raises(ValueError):
+        g.submit(5, KernelCost())
+
+
+# ---------------------------------------------------------------------------
+# memory pool
+# ---------------------------------------------------------------------------
+
+
+def test_memory_pool_flow():
+    p = MemoryPool(capacity=1000)
+    a = p.alloc_persistent(300, "sc")
+    assert p.available == 700
+    t = p.alloc_temporary(600, "y")
+    assert p.high_water == 900
+    assert p.would_block(200)
+    p.free(t)
+    assert not p.would_block(200)
+    p.free(a)
+    assert p.used == 0
+
+
+def test_memory_pool_persistent_overflow():
+    p = MemoryPool(capacity=100)
+    with pytest.raises(OutOfDeviceMemoryError):
+        p.alloc_persistent(200)
+
+
+def test_memory_pool_temporary_block_is_error():
+    p = MemoryPool(capacity=100)
+    with pytest.raises(ValueError, match="would block"):
+        p.alloc_temporary(200)
+
+
+def test_memory_pool_double_free():
+    p = MemoryPool(capacity=100)
+    a = p.alloc_persistent(10)
+    p.free(a)
+    with pytest.raises(ValueError, match="double free"):
+        p.free(a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    flops=st.floats(min_value=0, max_value=1e15),
+    nbytes=st.floats(min_value=0, max_value=1e12),
+    dim=st.floats(min_value=1, max_value=1e6),
+)
+def test_property_time_positive_and_monotone(flops, nbytes, dim):
+    c = KernelCost(flops=flops, bytes_moved=nbytes, char_dim=dim)
+    t = c.time_on(A100_40GB)
+    assert t >= 0
+    bigger = KernelCost(flops=flops * 2 + 1, bytes_moved=nbytes, char_dim=dim)
+    assert bigger.time_on(A100_40GB) >= t

@@ -1,0 +1,74 @@
+"""Tests for the full-node (multi-process) preprocessing simulation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    KAROLINA_GPU_NODE,
+    NodeSpec,
+    SubdomainWork,
+    run_node_preprocessing,
+)
+
+
+def _work(n, fact=1.0, asm=0.5):
+    return [SubdomainWork(factorization=fact, assembly=asm) for _ in range(n)]
+
+
+def test_node_spec_defaults_and_validation():
+    assert KAROLINA_GPU_NODE.n_processes == 8
+    assert KAROLINA_GPU_NODE.threads_per_process == 16
+    with pytest.raises(ValueError):
+        NodeSpec(n_processes=0)
+    with pytest.raises(ValueError):
+        NodeSpec(threads_per_process=0)
+
+
+def test_balanced_clusters_scale_perfectly():
+    """The paper: processes do not influence each other — a node with 8
+    identical clusters finishes exactly when one process would."""
+    node = NodeSpec(n_processes=8, threads_per_process=2, streams_per_process=2)
+    one = run_node_preprocessing([_work(8)], node=node)
+    eight = run_node_preprocessing([_work(8) for _ in range(8)], node=node)
+    assert eight.makespan == pytest.approx(one.makespan)
+    assert eight.balance == pytest.approx(1.0)
+    assert eight.parallel_efficiency == pytest.approx(1.0)
+
+
+def test_straggler_cluster_bounds_the_node():
+    node = NodeSpec(n_processes=2, threads_per_process=2, streams_per_process=2)
+    res = run_node_preprocessing([_work(2), _work(12)], node=node)
+    assert res.makespan == pytest.approx(res.per_process[1].makespan)
+    assert res.balance < 1.0
+    assert res.parallel_efficiency < 1.0
+
+
+def test_node_validates_cluster_count():
+    node = NodeSpec(n_processes=2)
+    with pytest.raises(ValueError):
+        run_node_preprocessing([_work(1)] * 3, node=node)
+    with pytest.raises(ValueError):
+        run_node_preprocessing([], node=node)
+
+
+def test_node_cpu_only_mode():
+    node = NodeSpec(n_processes=2, threads_per_process=2, streams_per_process=2)
+    res = run_node_preprocessing(
+        [_work(4), _work(4)], node=node, mode="sep", assembly_on_gpu=False
+    )
+    assert res.makespan > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 10), min_size=1, max_size=8),
+)
+def test_property_node_makespan_is_max_of_processes(sizes):
+    node = NodeSpec(n_processes=8, threads_per_process=2, streams_per_process=2)
+    res = run_node_preprocessing([_work(n) for n in sizes], node=node)
+    assert res.makespan == pytest.approx(max(p.makespan for p in res.per_process))
+    assert 0 < res.balance <= 1.0
+    assert 0 < res.parallel_efficiency <= 1.0

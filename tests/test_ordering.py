@@ -1,0 +1,128 @@
+"""Tests for the fill-reducing orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    amd_ordering,
+    compute_ordering,
+    natural_ordering,
+    nd_ordering,
+    rcm_ordering,
+    symbolic_factorize,
+)
+from tests.conftest import grid_coords, laplacian_2d, random_spd
+
+ALL_METHODS = ["natural", "rcm", "amd", "nd"]
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_ordering_is_permutation(method):
+    a = random_spd(60, density=0.08, seed=3)
+    perm = compute_ordering(a, method=method)
+    assert sorted(perm.tolist()) == list(range(60))
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_ordering_empty_matrix(method):
+    a = sp.csr_matrix((0, 0))
+    perm = compute_ordering(a, method=method)
+    assert perm.size == 0
+
+
+def test_natural_is_identity():
+    a = random_spd(17, seed=1)
+    assert np.array_equal(natural_ordering(a), np.arange(17))
+
+
+def test_unknown_method_raises():
+    a = random_spd(5)
+    with pytest.raises(ValueError, match="unknown ordering"):
+        compute_ordering(a, method="metis")
+
+
+def test_rcm_reduces_bandwidth():
+    a = laplacian_2d(12, 12)
+    rng = np.random.default_rng(0)
+    shuffle = rng.permutation(a.shape[0])
+    scrambled = sp.csr_matrix(a[shuffle][:, shuffle])
+    perm = rcm_ordering(scrambled)
+    reordered = scrambled[perm][:, perm].tocoo()
+    bw_after = int(np.abs(reordered.row - reordered.col).max())
+    coo = scrambled.tocoo()
+    bw_before = int(np.abs(coo.row - coo.col).max())
+    assert bw_after < bw_before
+
+
+@pytest.mark.parametrize("method", ["amd", "nd"])
+def test_fill_reducing_beats_natural_on_grid(method):
+    """AMD/ND must produce less fill than the natural order on a 2-D grid."""
+    a = laplacian_2d(14, 14)
+    coords = grid_coords(14, 14)
+    perm = compute_ordering(a, method=method, coords=coords)
+    ap = sp.csr_matrix(a[perm][:, perm])
+    nnz_method = symbolic_factorize(ap, with_pattern=False).nnz_l
+    nnz_natural = symbolic_factorize(a, with_pattern=False).nnz_l
+    assert nnz_method < nnz_natural
+
+
+def test_nd_geometric_vs_graph_both_valid():
+    a = laplacian_2d(10, 10)
+    coords = grid_coords(10, 10)
+    perm_geo = nd_ordering(a, coords=coords, leaf_size=16)
+    perm_graph = nd_ordering(a, coords=None, leaf_size=16)
+    n = a.shape[0]
+    assert sorted(perm_geo.tolist()) == list(range(n))
+    assert sorted(perm_graph.tolist()) == list(range(n))
+
+
+def test_nd_leaf_method_natural():
+    a = laplacian_2d(8, 8)
+    perm = nd_ordering(a, leaf_size=10, leaf_method="natural")
+    assert sorted(perm.tolist()) == list(range(64))
+
+
+def test_nd_rejects_bad_args():
+    a = laplacian_2d(4, 4)
+    with pytest.raises(ValueError):
+        nd_ordering(a, leaf_size=0)
+    with pytest.raises(ValueError):
+        nd_ordering(a, leaf_method="bogus")
+    with pytest.raises(ValueError):
+        nd_ordering(a, coords=np.zeros((3, 2)))
+
+
+def test_amd_on_dense_block():
+    """A fully dense matrix: any order is fine, must still be a permutation."""
+    a = sp.csr_matrix(np.ones((9, 9)))
+    perm = amd_ordering(a)
+    assert sorted(perm.tolist()) == list(range(9))
+
+
+def test_amd_on_diagonal_matrix():
+    a = sp.eye(25, format="csr")
+    perm = amd_ordering(a)
+    assert sorted(perm.tolist()) == list(range(25))
+
+
+def test_nd_on_disconnected_graph():
+    blocks = sp.block_diag([laplacian_2d(5, 5), laplacian_2d(4, 4)], format="csr")
+    perm = nd_ordering(blocks, leaf_size=8)
+    assert sorted(perm.tolist()) == list(range(blocks.shape[0]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    method=st.sampled_from(ALL_METHODS),
+)
+def test_property_orderings_are_permutations(n, seed, method):
+    a = random_spd(n, density=min(1.0, 4.0 / max(n, 1)), seed=seed)
+    perm = compute_ordering(a, method=method)
+    assert sorted(perm.tolist()) == list(range(n))

@@ -1,0 +1,39 @@
+"""Top-level public API: lazy exports and an end-to-end integration pass."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_lazy_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    assert "SchurAssembler" in dir(repro)
+
+
+def test_unknown_attribute():
+    with pytest.raises(AttributeError, match="no attribute"):
+        repro.warp_drive
+
+
+def test_end_to_end_through_top_level_api():
+    """The README quickstart, via `import repro` only."""
+    wl = repro.make_workload(dim=3, target_dofs=729)
+    base = repro.SchurAssembler(config=repro.baseline_config("sparse"))
+    opt = repro.SchurAssembler(config=repro.default_config("gpu", 3))
+    r0 = base.assemble(wl.factor, wl.bt)
+    r1 = opt.assemble(wl.factor, wl.bt)
+    assert np.allclose(r0.f, r1.f, atol=1e-8)
+    assert r0.elapsed > 0 and r1.elapsed > 0
+
+    problem = repro.heat_transfer_2d(12, dirichlet=("left",))
+    dec = repro.decompose(problem, grid=(2, 2))
+    sol = repro.solve_feti(dec, approach="expl_gpu_opt", tol=1e-10)
+    assert np.abs(sol.u - problem.solve_direct()).max() < 1e-7

@@ -1,0 +1,201 @@
+"""Tests for the augmented Schur complement, regularization and null spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    NotPositiveDefiniteError,
+    cholesky,
+    choose_fixing_dofs,
+    constant_nullspace,
+    nullspace_dense,
+    regularize,
+    schur_augmented,
+    spnorm_inf,
+    verify_nullspace,
+)
+from tests.conftest import laplacian_1d, laplacian_2d, random_spd
+
+
+def _dense_schur(k, bt):
+    return bt.T.toarray() @ np.linalg.solve(k.toarray(), bt.toarray())
+
+
+@pytest.mark.parametrize("ordering", ["natural", "amd", "nd"])
+def test_schur_matches_dense(ordering):
+    k = random_spd(80, density=0.06, seed=1)
+    bt = sp.random(80, 12, density=0.05, random_state=2, format="csc")
+    res = schur_augmented(k, bt, ordering=ordering)
+    assert np.allclose(res.schur, _dense_schur(k, bt), atol=1e-8)
+
+
+def test_schur_is_symmetric():
+    k = random_spd(50, seed=3)
+    bt = sp.random(50, 9, density=0.1, random_state=4, format="csc")
+    res = schur_augmented(k, bt)
+    assert np.array_equal(res.schur, res.schur.T)
+
+
+def test_schur_spd_for_full_rank_b():
+    k = laplacian_2d(6, 6)
+    m = 5
+    rows = np.arange(m)
+    bt = sp.csc_matrix((np.ones(m), (rows, np.arange(m))), shape=(36, m))
+    res = schur_augmented(k, bt)
+    w = np.linalg.eigvalsh(res.schur)
+    assert w.min() > 0
+
+
+def test_schur_factor_reuse():
+    k = random_spd(40, seed=5)
+    bt = sp.random(40, 6, density=0.1, random_state=6, format="csc")
+    f = cholesky(k, ordering="amd")
+    res = schur_augmented(k, bt, factor=f)
+    assert res.factor is f
+    assert np.allclose(res.schur, _dense_schur(k, bt), atol=1e-8)
+
+
+def test_schur_rejects_dense_b():
+    k = random_spd(10)
+    with pytest.raises(ValueError, match="sparse"):
+        schur_augmented(k, np.ones((10, 2)))
+
+
+def test_schur_rejects_shape_mismatch():
+    k = random_spd(10)
+    bt = sp.csc_matrix((9, 2))
+    with pytest.raises(ValueError, match="rows"):
+        schur_augmented(k, bt)
+
+
+def test_schur_flop_accounting_positive():
+    k = random_spd(30, seed=7)
+    bt = sp.random(30, 4, density=0.2, random_state=8, format="csc")
+    res = schur_augmented(k, bt)
+    assert res.solve_flops > 0
+    assert res.syrk_flops > 0
+    assert res.total_flops >= res.solve_flops + res.syrk_flops
+    assert res.y_nnz > 0
+
+
+def test_schur_flops_smaller_for_local_b():
+    """A B^T touching only late-eliminated DOFs must cost far fewer solve
+    flops than one touching everything — the sparsity the paper exploits."""
+    k = laplacian_1d(200)
+    local = sp.csc_matrix(
+        (np.ones(2), ([198, 199], [0, 1])), shape=(200, 2)
+    )
+    spread = sp.csc_matrix(
+        (np.ones(2), ([0, 1], [0, 1])), shape=(200, 2)
+    )
+    res_local = schur_augmented(k, local, ordering="natural")
+    res_spread = schur_augmented(k, spread, ordering="natural")
+    assert res_local.solve_flops < res_spread.solve_flops / 10
+
+
+# ---------------------------------------------------------------------------
+# regularization + null spaces
+# ---------------------------------------------------------------------------
+
+
+def test_neumann_laplacian_needs_regularization():
+    k = laplacian_1d(30, neumann=True)
+    with pytest.raises(NotPositiveDefiniteError):
+        cholesky(k, ordering="natural")
+    fixing = choose_fixing_dofs(k, 1)
+    k_reg = regularize(k, fixing)
+    f = cholesky(k_reg, ordering="natural")  # must succeed
+    assert f.n == 30
+
+
+def test_regularized_inverse_is_generalized_inverse():
+    """K K_reg^{-1} K == K (the property FETI needs from K^+)."""
+    k = laplacian_1d(20, neumann=True)
+    fixing = choose_fixing_dofs(k, 1)
+    k_reg = regularize(k, fixing)
+    f = cholesky(k_reg, ordering="natural")
+    kd = k.toarray()
+    kplus_k = np.column_stack([f.solve(kd[:, j]) for j in range(20)])
+    assert np.allclose(kd @ kplus_k, kd, atol=1e-8)
+
+
+def test_regularize_noop_for_empty_fixing():
+    k = laplacian_1d(10)
+    k2 = regularize(k, np.empty(0, dtype=int))
+    assert (k != k2).nnz == 0
+
+
+def test_regularize_validates():
+    k = laplacian_1d(10)
+    with pytest.raises(ValueError):
+        regularize(k, np.array([10]))
+    with pytest.raises(ValueError):
+        regularize(k, np.array([0]), rho=-1.0)
+
+
+def test_choose_fixing_dofs_geometric_spread():
+    k = laplacian_1d(100, neumann=True)
+    coords = np.arange(100, dtype=float)[:, None]
+    dofs = choose_fixing_dofs(k, 3, coords=coords)
+    assert len(set(dofs.tolist())) == 3
+    # Farthest-point sampling should include both extremes.
+    assert 0 in dofs and 99 in dofs
+
+
+def test_choose_fixing_dofs_validates():
+    k = laplacian_1d(5)
+    with pytest.raises(ValueError):
+        choose_fixing_dofs(k, 6)
+    assert choose_fixing_dofs(k, 0).size == 0
+
+
+def test_constant_nullspace_is_kernel():
+    k = laplacian_1d(40, neumann=True)
+    r = constant_nullspace(40)
+    assert verify_nullspace(k, r)
+    assert np.isclose(np.linalg.norm(r), 1.0)
+
+
+def test_nullspace_dense_finds_constant():
+    k = laplacian_1d(15, neumann=True)
+    kernel = nullspace_dense(k)
+    assert kernel.shape == (15, 1)
+    # Kernel of the Neumann Laplacian is the constant vector.
+    assert np.allclose(kernel / kernel[0], np.ones((15, 1)), atol=1e-8)
+
+
+def test_nullspace_dense_spd_matrix_empty():
+    k = laplacian_1d(15)
+    kernel = nullspace_dense(k)
+    assert kernel.shape[1] == 0
+    assert verify_nullspace(k, kernel)
+
+
+def test_verify_nullspace_rejects_nonkernel():
+    k = laplacian_1d(10)
+    bad = np.ones((10, 1))
+    assert not verify_nullspace(k, bad)
+
+
+def test_spnorm_inf():
+    a = sp.csr_matrix(np.array([[1.0, -2.0], [0.0, 0.5]]))
+    assert spnorm_inf(a) == 3.0
+    assert spnorm_inf(sp.csr_matrix((3, 3))) == 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=40),
+    m=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_schur_matches_dense(n, m, seed):
+    k = random_spd(n, density=min(1.0, 5.0 / n), seed=seed)
+    bt = sp.random(n, m, density=0.3, random_state=seed, format="csc")
+    res = schur_augmented(k, bt, ordering="amd")
+    assert np.allclose(res.schur, _dense_schur(k, bt), atol=1e-7)

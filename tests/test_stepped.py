@@ -1,0 +1,143 @@
+"""Tests for the stepped-shape analysis and permutation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SteppedShape,
+    check_zeros_above_pivots,
+    column_pivots,
+    is_stepped,
+    row_trails,
+    stepped_permutation,
+)
+
+
+def _random_bt(n, m, density, seed):
+    return sp.random(n, m, density=density, random_state=seed, format="csc")
+
+
+def test_column_pivots_basic():
+    bt = sp.csc_matrix(
+        np.array(
+            [
+                [0.0, 1.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 1.0],
+            ]
+        )
+    )
+    assert column_pivots(bt).tolist() == [1, 0, 2]
+
+
+def test_column_pivots_empty_column():
+    bt = sp.csc_matrix((4, 3))
+    assert column_pivots(bt).tolist() == [4, 4, 4]
+
+
+def test_row_trails_basic():
+    bt = sp.csc_matrix(
+        np.array(
+            [
+                [0.0, 1.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 1.0],
+            ]
+        )
+    )
+    assert row_trails(bt).tolist() == [1, 0, 2]
+
+
+def test_row_trails_empty_row():
+    bt = sp.csc_matrix(np.array([[1.0], [0.0]]))
+    assert row_trails(bt).tolist() == [0, -1]
+
+
+def test_stepped_permutation_sorts_pivots():
+    bt = _random_bt(50, 20, 0.1, 3)
+    perm, shape = stepped_permutation(bt)
+    assert sorted(perm.tolist()) == list(range(20))
+    assert np.all(np.diff(shape.pivots) >= 0)
+    assert is_stepped(bt[:, perm])
+
+
+def test_stepped_permutation_stability():
+    """Equal pivots keep their relative order (stable sort) — deterministic."""
+    bt = sp.csc_matrix(np.array([[1.0, 1.0, 1.0], [0.0, 1.0, 0.0]]))
+    perm, _ = stepped_permutation(bt)
+    assert perm.tolist() == [0, 1, 2]
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError, match="ascending"):
+        SteppedShape(n_rows=5, pivots=np.array([3, 1]))
+    with pytest.raises(ValueError):
+        SteppedShape(n_rows=5, pivots=np.array([0, 6]))
+    with pytest.raises(ValueError):
+        SteppedShape(n_rows=-1, pivots=np.array([], dtype=int))
+
+
+def test_width_below_and_first_pivot():
+    shape = SteppedShape(n_rows=10, pivots=np.array([0, 2, 2, 7]))
+    assert shape.width_below(0) == 0
+    assert shape.width_below(1) == 1
+    assert shape.width_below(3) == 3
+    assert shape.width_below(10) == 4
+    assert shape.first_pivot(0) == 0
+    assert shape.first_pivot(1) == 2
+    assert shape.first_pivot(4) == 10  # past the end: no pivot
+    with pytest.raises(ValueError):
+        shape.first_pivot(5)
+
+
+def test_density():
+    full = SteppedShape(n_rows=4, pivots=np.zeros(3, dtype=int))
+    assert full.density() == 1.0
+    half = SteppedShape(n_rows=4, pivots=np.array([0, 2, 4]))
+    assert half.density() == pytest.approx((4 + 2 + 0) / 12)
+    assert SteppedShape(n_rows=0, pivots=np.empty(0, dtype=int)).density() == 1.0
+
+
+def test_is_stepped_dense_input():
+    x = np.array([[1.0, 0.0], [1.0, 1.0]])
+    assert is_stepped(x)
+    y = np.array([[0.0, 1.0], [1.0, 1.0]])
+    assert not is_stepped(y)
+
+
+def test_check_zeros_above_pivots():
+    shape = SteppedShape(n_rows=3, pivots=np.array([0, 2]))
+    good = np.array([[1.0, 0.0], [2.0, 0.0], [3.0, 4.0]])
+    assert check_zeros_above_pivots(good, shape)
+    bad = good.copy()
+    bad[1, 1] = 1e-3
+    assert not check_zeros_above_pivots(bad, shape)
+    assert check_zeros_above_pivots(bad, shape, tol=1e-2)
+    with pytest.raises(ValueError):
+        check_zeros_above_pivots(np.zeros((2, 2)), shape)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 60),
+    m=st.integers(1, 25),
+    seed=st.integers(0, 10_000),
+)
+def test_property_permuted_bt_is_stepped(n, m, seed):
+    bt = _random_bt(n, m, 0.15, seed)
+    perm, shape = stepped_permutation(bt)
+    permuted = bt[:, perm]
+    assert is_stepped(permuted)
+    dense = permuted.toarray()
+    assert check_zeros_above_pivots(dense, shape)
+    # Pivot positions are exactly the first nonzeros.
+    for j in range(m):
+        col = dense[:, j]
+        nz = np.flatnonzero(col)
+        expected = nz[0] if nz.size else n
+        assert shape.pivots[j] == expected

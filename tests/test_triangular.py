@@ -1,0 +1,161 @@
+"""Tests for triangular solves (dense RHS backends + sparse-RHS Gilbert–Peierls)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    TriangularSolver,
+    cholesky,
+    solve_lower,
+    solve_upper,
+    spsolve_lower_sparse,
+)
+from tests.conftest import laplacian_2d, random_spd
+
+BACKENDS = ["python", "superlu", "dense", "auto"]
+
+
+def _factor(n=60, seed=0):
+    return cholesky(random_spd(n, density=0.08, seed=seed), ordering="amd").l
+
+
+@pytest.mark.parametrize("method", BACKENDS)
+def test_solve_lower_matrix_rhs(method, rng):
+    l = _factor()
+    b = rng.standard_normal((60, 5))
+    x = solve_lower(l, b, method=method)
+    assert np.allclose(l @ x, b, atol=1e-9)
+
+
+@pytest.mark.parametrize("method", BACKENDS)
+def test_solve_upper_matrix_rhs(method, rng):
+    l = _factor()
+    b = rng.standard_normal((60, 5))
+    x = solve_upper(l, b, method=method)
+    assert np.allclose(l.T @ x, b, atol=1e-9)
+
+
+@pytest.mark.parametrize("method", BACKENDS)
+def test_solve_vector_rhs_shape(method, rng):
+    l = _factor()
+    b = rng.standard_normal(60)
+    x = solve_lower(l, b, method=method)
+    assert x.shape == (60,)
+    assert np.allclose(l @ x, b, atol=1e-9)
+
+
+def test_backends_agree(rng):
+    l = _factor(80, seed=5)
+    b = rng.standard_normal((80, 3))
+    xs = [solve_lower(l, b, method=m) for m in ("python", "superlu", "dense")]
+    for x in xs[1:]:
+        assert np.allclose(x, xs[0], atol=1e-9)
+
+
+def test_rhs_dimension_mismatch():
+    l = _factor()
+    with pytest.raises(ValueError, match="rows"):
+        solve_lower(l, np.ones((59, 2)))
+
+
+def test_unknown_backend():
+    l = _factor()
+    with pytest.raises(ValueError, match="unknown method"):
+        solve_lower(l, np.ones(60), method="magma")
+
+
+def test_python_backend_rejects_zero_diagonal():
+    l = sp.csc_matrix(np.array([[1.0, 0.0], [1.0, 0.0]]))
+    with pytest.raises(ValueError, match="diagonal"):
+        solve_lower(l, np.ones(2), method="python")
+
+
+def test_rejects_non_lower_triangular():
+    a = sp.csc_matrix(np.array([[1.0, 2.0], [0.5, 1.0]]))
+    with pytest.raises(ValueError, match="above the diagonal"):
+        solve_lower(a, np.ones(2), method="python")
+
+
+def test_triangular_solver_cached_reuse(rng):
+    l = _factor()
+    solver = TriangularSolver(l)
+    b1 = rng.standard_normal(60)
+    b2 = rng.standard_normal((60, 2))
+    assert np.allclose(l @ solver.solve(b1), b1, atol=1e-9)
+    assert np.allclose(l.T @ solver.solve(b2, transpose=True), b2, atol=1e-9)
+
+
+def test_spsolve_lower_sparse_matches_dense(rng):
+    l = _factor(70, seed=2)
+    b = sp.random(70, 8, density=0.07, random_state=3, format="csc")
+    y, flops = spsolve_lower_sparse(l, b)
+    dense = solve_lower(l, b.toarray(), method="dense")
+    assert np.allclose(y.toarray(), dense, atol=1e-9)
+    assert flops > 0
+
+
+def test_spsolve_sparse_rhs_zero_column():
+    l = _factor(20, seed=1)
+    b = sp.csc_matrix((20, 3))  # all-zero RHS
+    y, flops = spsolve_lower_sparse(l, b)
+    assert y.nnz == 0
+    assert flops == 0
+
+
+def test_spsolve_reach_is_sparse():
+    """With a tridiagonal factor, solving e_k touches only rows >= k."""
+    n = 30
+    l = cholesky(laplacian_2d(1, n) + sp.eye(n) * 0, ordering="natural").l
+    b = sp.csc_matrix(([1.0], ([n - 2], [0])), shape=(n, 1))
+    y, _ = spsolve_lower_sparse(l, b)
+    assert set(y.tocoo().row.tolist()) <= {n - 2, n - 1}
+
+
+def test_spsolve_flops_less_than_full_solve():
+    """Sparse-RHS flops must be far below the dense-RHS equivalent for a
+    local RHS (this is the whole point of the augmented approach)."""
+    l = _factor(100, seed=4)
+    b = sp.csc_matrix(([1.0], ([99], [0])), shape=(100, 1))
+    _, flops = spsolve_lower_sparse(l, b)
+    assert flops <= 2.0 * l.nnz  # full solve would be ~2 nnz(L)
+
+
+def test_spsolve_rejects_wrong_rows():
+    l = _factor(10, seed=6)
+    with pytest.raises(ValueError):
+        spsolve_lower_sparse(l, sp.csc_matrix((9, 1)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    m=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_forward_backward_roundtrip(n, m, seed):
+    """x == L^{-T}(L^{-1}(L L^T x)) for random SPD factors."""
+    l = cholesky(random_spd(n, density=min(1.0, 5.0 / n), seed=seed)).l
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, m))
+    b = (l @ (l.T @ x))
+    y = solve_lower(l, b, method="python")
+    x2 = solve_upper(l, y, method="python")
+    assert np.allclose(x2, x, atol=1e-7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+    density=st.floats(min_value=0.05, max_value=0.5),
+)
+def test_property_spsolve_matches_dense(n, seed, density):
+    l = cholesky(random_spd(n, density=min(1.0, 5.0 / n), seed=seed)).l
+    b = sp.random(n, 3, density=density, random_state=seed, format="csc")
+    y, _ = spsolve_lower_sparse(l, b)
+    assert np.allclose(l @ y.toarray(), b.toarray(), atol=1e-8)

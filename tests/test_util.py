@@ -1,0 +1,163 @@
+"""Tests for validation helpers, FLOP formulas and table formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import (
+    Table,
+    check_dense_matrix,
+    check_lower_triangular,
+    check_permutation,
+    check_sparse_square,
+    check_square,
+    format_series,
+    format_si,
+    gemm_flops,
+    require,
+    spmm_flops,
+    stepped_syrk_flops,
+    stepped_trsm_dense_flops,
+    syrk_flops,
+    trsm_dense_flops,
+    trsm_sparse_flops,
+)
+
+
+def test_require():
+    require(True, "fine")
+    with pytest.raises(ValueError, match="boom"):
+        require(False, "boom")
+
+
+def test_check_square():
+    assert check_square(np.eye(3)) == 3
+    with pytest.raises(ValueError):
+        check_square(np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        check_square(np.ones(4))
+
+
+def test_check_sparse_square():
+    assert check_sparse_square(sp.eye(4)) == 4
+    with pytest.raises(ValueError):
+        check_sparse_square(np.eye(4))
+    with pytest.raises(ValueError):
+        check_sparse_square(sp.csr_matrix((2, 3)))
+
+
+def test_check_dense_matrix():
+    assert check_dense_matrix(np.ones((2, 5))) == (2, 5)
+    with pytest.raises(ValueError):
+        check_dense_matrix([[1.0]])
+    with pytest.raises(ValueError):
+        check_dense_matrix(np.ones(3))
+
+
+def test_check_lower_triangular_dense():
+    check_lower_triangular(np.tril(np.ones((4, 4))))
+    with pytest.raises(ValueError):
+        check_lower_triangular(np.ones((4, 4)))
+
+
+def test_check_lower_triangular_sparse_allows_stored_zero_upper():
+    a = sp.csc_matrix(np.array([[1.0, 0.0], [2.0, 3.0]]))
+    a.data = np.asarray(a.data)
+    check_lower_triangular(a)
+    b = sp.lil_matrix((2, 2))
+    b[0, 1] = 0.0  # explicit stored zero above diagonal is fine
+    b[0, 0] = 1.0
+    b[1, 1] = 1.0
+    check_lower_triangular(sp.csc_matrix(b))
+
+
+def test_check_permutation():
+    p = check_permutation(np.array([2, 0, 1]), 3)
+    assert p.dtype == np.intp
+    with pytest.raises(ValueError):
+        check_permutation(np.array([0, 0, 1]), 3)
+    with pytest.raises(ValueError):
+        check_permutation(np.array([0, 1]), 3)
+
+
+def test_flop_formulas_basic_values():
+    assert trsm_dense_flops(10, 3) == 300
+    assert trsm_sparse_flops(50, 4) == 400
+    assert syrk_flops(4, 10) == 10 * 4 * 5
+    assert gemm_flops(2, 3, 4) == 48
+    assert spmm_flops(100, 5) == 1000
+
+
+def test_stepped_trsm_flops_extremes():
+    n = 100
+    # All pivots at zero -> full dense cost.
+    full = stepped_trsm_dense_flops(np.zeros(10), n)
+    assert full == 10 * n * n
+    # Perfectly triangular pivots -> roughly a third of dense cost.
+    pivots = np.linspace(0, n, 10, endpoint=False)
+    tri = stepped_trsm_dense_flops(pivots, n)
+    assert 0.25 * full < tri < 0.45 * full
+
+
+def test_stepped_syrk_flops_bounds():
+    n_rows, m = 200, 40
+    full = stepped_syrk_flops(np.zeros(m), n_rows)
+    assert full == pytest.approx(syrk_flops(m, n_rows), rel=0.05)
+    tri = stepped_syrk_flops(np.linspace(0, n_rows, m, endpoint=False), n_rows)
+    assert tri < 0.75 * full
+
+
+def test_format_si():
+    assert format_si(1.5e9) == "1.5G"
+    assert format_si(2_000) == "2k"
+    assert format_si(0.001) == "1m"
+    assert format_si(0) == "0"
+    assert format_si(-3e6) == "-3M"
+    assert format_si(float("nan")) == "nan"
+
+
+def test_table_rendering():
+    t = Table(["a", "b"], title="demo")
+    t.add_row([1, 2.5])
+    t.add_row(["x", 1e-8])
+    out = t.render()
+    assert "demo" in out
+    assert "a" in out and "b" in out
+    assert len(out.splitlines()) == 5
+
+
+def test_table_rejects_bad_row():
+    t = Table(["a"])
+    with pytest.raises(ValueError):
+        t.add_row([1, 2])
+
+
+def test_format_series_handles_short_series():
+    out = format_series("n", [1, 2, 3], {"t": [0.1, 0.2]})
+    assert "nan" in out
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=1000),
+    m=st.integers(min_value=1, max_value=1000),
+)
+def test_property_stepped_trsm_never_exceeds_dense(n, m):
+    rng = np.random.default_rng(n * 1000 + m)
+    pivots = np.sort(rng.integers(0, n, size=m))
+    assert stepped_trsm_dense_flops(pivots, n) <= trsm_dense_flops(n, m)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=500),
+    m=st.integers(min_value=1, max_value=100),
+)
+def test_property_stepped_syrk_never_exceeds_dense(k, m):
+    rng = np.random.default_rng(k * 77 + m)
+    pivots = np.sort(rng.integers(0, k, size=m))
+    assert stepped_syrk_flops(pivots, k) <= syrk_flops(m, k) * 1.001
