@@ -12,7 +12,10 @@ The most common entry points are re-exported here lazily (so that importing
 * :func:`repro.fem.heat_transfer_2d` / :func:`repro.fem.heat_transfer_3d`,
 * :func:`repro.dd.decompose`,
 * :class:`repro.feti.FetiSolver` / :func:`repro.feti.solve_feti`,
-* :func:`repro.bench.make_workload`.
+* :func:`repro.bench.make_workload`,
+* :class:`repro.batch.BatchAssembler` / :class:`repro.batch.PatternCache` —
+  population-scale assembly with symbolic-pattern reuse (see
+  :mod:`repro.batch`).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -36,6 +39,10 @@ _LAZY = {
     "FetiSolver": ("repro.feti", "FetiSolver"),
     "solve_feti": ("repro.feti", "solve_feti"),
     "make_workload": ("repro.bench", "make_workload"),
+    "BatchAssembler": ("repro.batch", "BatchAssembler"),
+    "BatchItem": ("repro.batch", "BatchItem"),
+    "PatternCache": ("repro.batch", "PatternCache"),
+    "BatchStats": ("repro.batch", "BatchStats"),
     "cholesky": ("repro.sparse", "cholesky"),
     "A100_40GB": ("repro.gpu", "A100_40GB"),
     "EPYC_7763_CORE": ("repro.gpu", "EPYC_7763_CORE"),

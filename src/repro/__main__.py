@@ -8,6 +8,10 @@ Commands
     Run one table/figure reproduction and print (and save) its tables.
 ``solve [--dim {2,3}] [--cells N] [--grid PxP..] [--approach NAME]``
     Solve a heat-transfer problem with FETI and report iterations/timings.
+``batch [--dim {2,3}] [--cells N] [--grid PxP..] [--device {gpu,cpu}]``
+    Batch-assemble all subdomains of a decomposition through the symbolic
+    pattern cache (``repro.batch``) and report cache/throughput statistics
+    plus the multi-stream pipeline makespan.
 """
 
 from __future__ import annotations
@@ -68,6 +72,40 @@ def _cmd_solve(args) -> int:
     return 0 if sol.info.converged else 1
 
 
+def _cmd_batch(args) -> int:
+    from repro.batch import BatchAssembler, BatchItem, PatternCache
+    from repro.core import default_config
+    from repro.dd import decompose
+    from repro.fem import heat_transfer_2d, heat_transfer_3d
+    from repro.feti.operator import factorize_subdomain
+
+    if args.dim == 2:
+        problem = heat_transfer_2d(args.cells, dirichlet=("left",))
+    else:
+        problem = heat_transfer_3d(args.cells, dirichlet=("left",))
+    grid = tuple(int(g) for g in args.grid.split("x"))
+    decomposition = decompose(problem, grid=grid)
+    items = [
+        BatchItem(factorize_subdomain(sub), sub.bt, label=f"sub{sub.index}")
+        for sub in decomposition.subdomains
+    ]
+    cache = PatternCache(max_entries=0) if args.no_cache else PatternCache()
+    config = default_config(args.device, args.dim)
+    if args.device == "gpu":
+        engine = BatchAssembler(config=config, cache=cache)
+    else:
+        engine = BatchAssembler.for_cpu(config=config, cache=cache)
+    batch = engine.assemble_batch(items, execute=not args.estimate_only)
+    print(batch.stats.summary())
+    pipe = engine.schedule(
+        batch.work, mode=args.mode, n_threads=args.threads, n_streams=args.streams
+    )
+    print(f"pipeline makespan: {pipe.makespan * 1e3:.3f} ms "
+          f"({args.mode}, {args.threads} threads, {args.streams} streams)")
+    print(f"pipeline rate:     {batch.stats.throughput(pipe.makespan):.1f} subdomains/s")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Schur-complement sparsity reproduction (SC 2025)"
@@ -90,8 +128,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_solve.add_argument("--expected-iterations", type=int, default=100)
 
+    p_batch = sub.add_parser(
+        "batch", help="batch-assemble a decomposition through the pattern cache"
+    )
+    p_batch.add_argument("--dim", type=int, default=2, choices=(2, 3))
+    p_batch.add_argument("--cells", type=int, default=24, help="mesh cells per axis")
+    p_batch.add_argument("--grid", default="3x3", help="subdomain grid, e.g. 4x4 or 2x2x2")
+    p_batch.add_argument("--device", default="gpu", choices=("gpu", "cpu"))
+    p_batch.add_argument("--mode", default="mix", choices=("mix", "sep"))
+    p_batch.add_argument("--threads", type=int, default=16)
+    p_batch.add_argument("--streams", type=int, default=16)
+    p_batch.add_argument(
+        "--no-cache", action="store_true", help="disable pattern reuse (baseline)"
+    )
+    p_batch.add_argument(
+        "--estimate-only", action="store_true", help="price the batch without numerics"
+    )
+
     args = parser.parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run, "solve": _cmd_solve}
+    handlers = {"list": _cmd_list, "run": _cmd_run, "solve": _cmd_solve, "batch": _cmd_batch}
     return handlers[args.command](args)
 
 

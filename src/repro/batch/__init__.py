@@ -1,0 +1,42 @@
+"""Batched assembly engine with a symbolic pattern cache.
+
+Population-scale Schur-complement assembly: fingerprint subdomains by
+structural identity (:mod:`repro.batch.fingerprint`), cache the expensive
+pattern-only artifacts per fingerprint (:mod:`repro.batch.cache`), assemble
+whole batches with one symbolic analysis per group
+(:mod:`repro.batch.engine`), and report throughput / hit-rate / time-saved
+statistics (:mod:`repro.batch.stats`).  Priced batch work plugs straight
+into the multi-stream scheduler of :mod:`repro.runtime`.
+"""
+
+from repro.batch.cache import CacheStats, PatternCache, SymbolicArtifacts
+from repro.batch.engine import (
+    BatchAssembler,
+    BatchItem,
+    BatchResult,
+    build_artifacts,
+    symbolic_analysis_cost,
+)
+from repro.batch.fingerprint import (
+    Fingerprint,
+    factor_fingerprint,
+    pattern_digest,
+    subdomain_fingerprint,
+)
+from repro.batch.stats import BatchStats
+
+__all__ = [
+    "BatchAssembler",
+    "BatchItem",
+    "BatchResult",
+    "BatchStats",
+    "PatternCache",
+    "CacheStats",
+    "SymbolicArtifacts",
+    "Fingerprint",
+    "pattern_digest",
+    "subdomain_fingerprint",
+    "factor_fingerprint",
+    "build_artifacts",
+    "symbolic_analysis_cost",
+]

@@ -1,0 +1,129 @@
+"""Structural fingerprints of subdomains.
+
+On structured decompositions many subdomains are translates of one another:
+the pattern of the regularized ``K``, the pattern of the gluing ``B̃^T``
+and the ordering choice — everything the symbolic stage consumes — are
+identical, only the numerical values differ.  A fingerprint hashes exactly
+that structural identity into a stable key, so the batch engine
+(:mod:`repro.batch.engine`) can do the expensive pattern-only analysis once
+per *group* instead of once per subdomain, the same way the paper's
+three-stage solver performs symbolic analysis once and reuses it across
+repeated numeric factorizations (§2.2).
+
+Two granularities:
+
+* :func:`subdomain_fingerprint` — from the regularized stiffness pattern,
+  the gluing pattern, and the ordering *name* (cheap, available before any
+  factorization; used by :func:`repro.feti.planner.plan_population`).
+* :func:`factor_fingerprint` — from the *stored* pattern of the numeric
+  factor ``L``, its permutation, and the gluing pattern.  This is the exact
+  key: equal fingerprints guarantee that every cached pattern artifact
+  (stepped permutation, pruning plan, cost estimate) transfers bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.cholesky import CholeskyFactor
+from repro.util import require
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """Stable structural identity of one subdomain.
+
+    ``key`` is a sha256 hex digest; ``n``/``m``/``nnz`` are carried along
+    for display and sanity checks (collisions across different shapes are
+    impossible anyway because the shapes are hashed).
+    """
+
+    key: str
+    n: int
+    m: int
+    nnz: int
+
+    def short(self) -> str:
+        """Abbreviated key for logs and tables."""
+        return self.key[:12]
+
+
+def _update(h, arr: np.ndarray) -> None:
+    h.update(np.ascontiguousarray(np.asarray(arr, dtype=np.int64)).tobytes())
+    h.update(b"|")
+
+
+def _update_pattern(h, a: sp.spmatrix) -> int:
+    ac = a.tocsc()
+    ac.sort_indices()
+    _update(h, np.asarray(ac.shape))
+    _update(h, ac.indptr)
+    _update(h, ac.indices)
+    return int(ac.nnz)
+
+
+def pattern_digest(a: sp.spmatrix) -> str:
+    """Hex digest of the sparsity pattern (shape + sorted CSC structure)."""
+    require(sp.issparse(a), "pattern_digest needs a sparse matrix")
+    h = hashlib.sha256()
+    _update_pattern(h, a)
+    return h.hexdigest()
+
+
+def subdomain_fingerprint(
+    k: sp.spmatrix,
+    bt: sp.spmatrix,
+    ordering: str = "nd",
+    extra: str = "",
+) -> Fingerprint:
+    """Fingerprint a subdomain before factorization.
+
+    Hashes the pattern of the (regularized) stiffness *k*, the pattern of
+    the transposed gluing *bt*, and the fill-reducing *ordering* choice.
+    Subdomains sharing this fingerprint produce identically-structured
+    factors whenever the ordering is computed deterministically from the
+    pattern (natural/RCM/AMD) or shared explicitly across the group.
+    """
+    require(sp.issparse(k) and sp.issparse(bt), "k and bt must be sparse")
+    require(k.shape[0] == bt.shape[0], "k and bt row counts differ")
+    h = hashlib.sha256()
+    nnz = _update_pattern(h, k)
+    _update_pattern(h, bt)
+    h.update(ordering.encode())
+    h.update(b"|")
+    h.update(extra.encode())
+    return Fingerprint(key=h.hexdigest(), n=k.shape[0], m=bt.shape[1], nnz=nnz)
+
+
+def factor_fingerprint(
+    factor: CholeskyFactor,
+    bt: sp.spmatrix,
+    extra: str = "",
+) -> Fingerprint:
+    """Fingerprint a factorized subdomain (the batch engine's cache key).
+
+    Hashes the stored pattern of ``L``, the fill-reducing permutation, and
+    the pattern of *bt*.  *extra* lets callers mix configuration identity
+    into the key (the engine passes ``config.describe()`` so one cache can
+    serve several assembly configurations).
+    """
+    require(sp.issparse(bt), "bt must be sparse")
+    require(bt.shape[0] == factor.n, "bt row count must match factor order")
+    h = hashlib.sha256()
+    nnz = _update_pattern(h, factor.l)
+    _update(h, factor.perm)
+    _update_pattern(h, bt)
+    h.update(extra.encode())
+    return Fingerprint(key=h.hexdigest(), n=factor.n, m=bt.shape[1], nnz=nnz)
+
+
+__all__ = [
+    "Fingerprint",
+    "pattern_digest",
+    "subdomain_fingerprint",
+    "factor_fingerprint",
+]

@@ -6,7 +6,13 @@ splitting), and the :class:`SchurAssembler` orchestrating them on a
 simulated CPU or GPU.
 """
 
-from repro.core.assembler import MemoryEstimate, SchurAssembler, SchurAssemblyResult
+from repro.core.assembler import (
+    MemoryEstimate,
+    PreparedPattern,
+    SchurAssembler,
+    SchurAssemblyResult,
+    prepare_pattern,
+)
 from repro.core.blocks import BLOCK_MODES, BlockSpec, by_count, by_size
 from repro.core.config import (
     SYRK_VARIANTS,
@@ -27,6 +33,7 @@ from repro.core.stepped import (
 from repro.core.syrk_split import syrk_input_split, syrk_orig, syrk_output_split
 from repro.core.trsm_split import (
     FACTOR_STORAGES,
+    PruningPlan,
     trsm_factor_split,
     trsm_orig,
     trsm_rhs_split,
@@ -42,6 +49,9 @@ __all__ = [
     "SchurAssembler",
     "SchurAssemblyResult",
     "MemoryEstimate",
+    "PreparedPattern",
+    "prepare_pattern",
+    "PruningPlan",
     "AssemblyConfig",
     "default_config",
     "baseline_config",

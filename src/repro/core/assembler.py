@@ -20,7 +20,7 @@ benchmarks can reproduce the paper's per-kernel and whole-assembly figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
@@ -28,7 +28,7 @@ import scipy.sparse as sp
 from repro.core.config import AssemblyConfig, default_config
 from repro.core.stepped import SteppedShape, stepped_permutation
 from repro.core.syrk_split import syrk_input_split, syrk_orig, syrk_output_split
-from repro.core.trsm_split import trsm_factor_split, trsm_orig, trsm_rhs_split
+from repro.core.trsm_split import PruningPlan, trsm_factor_split, trsm_orig, trsm_rhs_split
 from repro.gpu.costmodel import FLOAT64_BYTES, csx_bytes, dense_bytes
 from repro.gpu.runtime import Executor
 from repro.gpu.spec import A100_40GB, EPYC_7763_CORE, PCIE4_X16, DeviceSpec, TransferSpec
@@ -63,6 +63,58 @@ class MemoryEstimate:
 
     persistent: float  # the SC itself, kept for the iterative solver
     temporary: float  # factor copy + dense RHS, freed after assembly
+
+
+@dataclass(frozen=True)
+class PreparedPattern:
+    """Pattern-only artifacts of one assembly, computed once per pattern.
+
+    The batch engine (:mod:`repro.batch`) computes these per *fingerprint
+    group* and hands them to :meth:`SchurAssembler.assemble`, which then
+    skips the stepped analysis and the pruning scans.  Must describe the
+    exact stored pattern of the inputs — sharing across members is only
+    valid when their fingerprints match.
+    """
+
+    col_perm: np.ndarray
+    shape: SteppedShape
+    pruning_plan: PruningPlan | None = None
+
+
+def prepare_pattern(
+    bt_rows: sp.csc_matrix,
+    config: AssemblyConfig,
+    factor_pattern=None,
+) -> PreparedPattern:
+    """Build the pattern artifacts for one assembly.
+
+    Single source of truth for the stepped-permutation branch, shared by
+    :meth:`SchurAssembler.assemble` and the batch engine so the two paths
+    cannot drift apart.  *bt_rows* is ``B̃^T`` with the factor's row
+    permutation already applied.  When *factor_pattern* (an object exposing
+    the factor's sorted CSC ``indptr``/``indices``) is given and the
+    configuration uses factor-split pruning, the pruning plan is built too;
+    without it the plan stays ``None`` and the kernel scans ad hoc.
+    """
+    n, m = bt_rows.shape
+    if config.use_stepped_permutation:
+        col_perm, shape = stepped_permutation(bt_rows)
+    else:
+        col_perm = np.arange(m, dtype=np.intp)
+        shape = SteppedShape(n_rows=n, pivots=np.zeros(m, dtype=np.intp))
+    plan = None
+    if (
+        factor_pattern is not None
+        and config.trsm_variant == "factor_split"
+        and config.prune
+    ):
+        plan = PruningPlan.from_pattern(
+            factor_pattern.indptr,
+            factor_pattern.indices,
+            n,
+            config.trsm_blocks.resolve(n),
+        )
+    return PreparedPattern(col_perm=col_perm, shape=shape, pruning_plan=plan)
 
 
 class SchurAssembler:
@@ -127,6 +179,7 @@ class SchurAssembler:
         bt: sp.spmatrix,
         executor: Executor | None = None,
         keep_y: bool = False,
+        prepared: PreparedPattern | None = None,
     ) -> SchurAssemblyResult:
         """Assemble ``F = B K_reg^{-1} B^T`` for one subdomain.
 
@@ -143,6 +196,10 @@ class SchurAssembler:
             a fresh one is created otherwise.
         keep_y:
             Keep the intermediate ``Y = L^{-1} B̃^T`` in the result (tests).
+        prepared:
+            Precomputed pattern artifacts (stepped permutation + pruning
+            plan) from the batch pattern cache; numerics are identical with
+            and without, only the host-side analysis is skipped.
         """
         require(sp.issparse(bt), "bt must be sparse")
         n = factor.n
@@ -155,12 +212,17 @@ class SchurAssembler:
 
         # --- stepped permutation (host side) --------------------------------
         bt_rows = bt.tocsr()[factor.perm].tocsc()
-        if cfg.use_stepped_permutation:
-            col_perm, shape = stepped_permutation(bt_rows)
+        if prepared is not None:
+            require(
+                prepared.shape.n_rows == n and prepared.shape.n_cols == m,
+                "prepared pattern does not match factor/bt dimensions",
+            )
         else:
-            col_perm = np.arange(m, dtype=np.intp)
-            shape = SteppedShape(n_rows=n, pivots=np.zeros(m, dtype=np.intp))
-        x = np.asarray(bt_rows[:, col_perm].todense(), dtype=np.float64)
+            prepared = prepare_pattern(bt_rows, cfg)
+        col_perm = prepared.col_perm
+        shape = prepared.shape
+        plan = prepared.pruning_plan
+        x = np.asarray(bt_rows[:, col_perm].toarray(), dtype=np.float64)
         # The column permutation + densification is a memory-traffic op.
         ex.charge_bytes(2.0 * x.size * FLOAT64_BYTES)
         breakdown["permute"] += ex.elapsed - mark
@@ -187,12 +249,13 @@ class SchurAssembler:
                 cfg.trsm_blocks,
                 storage=cfg.factor_storage,
                 prune=cfg.prune,
+                plan=plan,
             )
         breakdown["trsm"] += ex.elapsed - mark
         mark = ex.elapsed
 
         # --- SYRK -------------------------------------------------------------
-        f_perm = np.zeros((m, m))
+        f_perm = np.zeros((m, m), dtype=np.float64)
         if cfg.syrk_variant == "orig":
             syrk_orig(ex, x, f_perm)
         elif cfg.syrk_variant == "input_split":
@@ -217,4 +280,10 @@ class SchurAssembler:
         )
 
 
-__all__ = ["SchurAssembler", "SchurAssemblyResult", "MemoryEstimate"]
+__all__ = [
+    "SchurAssembler",
+    "SchurAssemblyResult",
+    "MemoryEstimate",
+    "PreparedPattern",
+    "prepare_pattern",
+]

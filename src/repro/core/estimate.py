@@ -20,7 +20,6 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.blocks import BlockSpec
 from repro.core.config import AssemblyConfig
 from repro.core.stepped import SteppedShape, stepped_permutation
 from repro.gpu.costmodel import FLOAT64_BYTES, CostLedger, KernelCost, csx_bytes, dense_bytes
@@ -284,29 +283,22 @@ def _estimate_syrk(
             ex.gemm(c1 - c0, c0, n - k0)
 
 
-def estimate_assembly(
-    factor: CholeskyFactor,
-    bt: sp.spmatrix,
+def estimate_from_patterns(
+    patt: FactorPattern,
+    shape: SteppedShape,
     config: AssemblyConfig,
     spec: DeviceSpec,
     transfer: TransferSpec | None = None,
 ) -> dict[str, float]:
-    """Price one SC assembly without executing it.
+    """Price one SC assembly from pattern artifacts alone.
 
-    Returns the same ``breakdown`` dict as
-    :meth:`repro.core.assembler.SchurAssembler.assemble` (plus ``"total"``).
+    This is the cacheable core of :func:`estimate_assembly`: given the
+    factor pattern and the stepped shape (both pure pattern objects, shared
+    by every subdomain with the same fingerprint) it replays the kernel
+    loops and returns the per-stage breakdown plus ``"total"``.
     """
-    require(sp.issparse(bt), "bt must be sparse")
-    n = factor.n
-    require(bt.shape[0] == n, "bt row count mismatch")
-    m = bt.shape[1]
-    patt = FactorPattern.from_factor(factor)
-    bt_rows = bt.tocsr()[factor.perm].tocsc()
-    if config.use_stepped_permutation:
-        _, shape = stepped_permutation(bt_rows)
-    else:
-        shape = SteppedShape(n_rows=n, pivots=np.zeros(m, dtype=np.intp))
-
+    n, m = patt.n, shape.n_cols
+    require(shape.n_rows == n, "shape/pattern row mismatch")
     ex = _CostOnlyExecutor(spec)
     breakdown = {"transfer": 0.0, "permute": 0.0, "trsm": 0.0, "syrk": 0.0}
 
@@ -333,4 +325,29 @@ def estimate_assembly(
     return breakdown
 
 
-__all__ = ["estimate_assembly", "FactorPattern"]
+def estimate_assembly(
+    factor: CholeskyFactor,
+    bt: sp.spmatrix,
+    config: AssemblyConfig,
+    spec: DeviceSpec,
+    transfer: TransferSpec | None = None,
+) -> dict[str, float]:
+    """Price one SC assembly without executing it.
+
+    Returns the same ``breakdown`` dict as
+    :meth:`repro.core.assembler.SchurAssembler.assemble` (plus ``"total"``).
+    """
+    require(sp.issparse(bt), "bt must be sparse")
+    n = factor.n
+    require(bt.shape[0] == n, "bt row count mismatch")
+    m = bt.shape[1]
+    patt = FactorPattern.from_factor(factor)
+    bt_rows = bt.tocsr()[factor.perm].tocsc()
+    if config.use_stepped_permutation:
+        _, shape = stepped_permutation(bt_rows)
+    else:
+        shape = SteppedShape(n_rows=n, pivots=np.zeros(m, dtype=np.intp))
+    return estimate_from_patterns(patt, shape, config, spec, transfer)
+
+
+__all__ = ["estimate_assembly", "estimate_from_patterns", "FactorPattern"]

@@ -20,6 +20,8 @@ identical code path is priced on a GPU or CPU roofline.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -30,6 +32,59 @@ from repro.sparse.triangular import TriangularSolver
 from repro.util import require
 
 FACTOR_STORAGES = ("sparse", "dense")
+
+
+@dataclass(frozen=True)
+class PruningPlan:
+    """Precomputed pruning gather for :func:`trsm_factor_split`.
+
+    For every factor row block ``[r0, r1)`` the plan stores the non-empty
+    rows of the sub-diagonal block ``L[r1:, r0:r1]`` (local indices, i.e.
+    relative to ``r1``) together with its stored-entry count.  The plan is a
+    pure pattern artifact: two factors with identical CSC structure share
+    it, which is what the batch pattern cache exploits.
+
+    Callers must guarantee the factor's *stored* pattern matches the one
+    the plan was built from (the batch engine does so via exact
+    fingerprints); the in-kernel nnz check catches gross mismatches only,
+    not same-count permuted patterns.
+    """
+
+    n: int
+    blocks: tuple[tuple[int, int], ...]
+    rows: tuple[np.ndarray, ...]
+    nnz: tuple[int, ...]
+
+    def matches(self, n: int, resolved: list[tuple[int, int]]) -> bool:
+        """Whether the plan was built for this factor order and block split."""
+        return self.n == n and self.blocks == tuple(resolved)
+
+    @classmethod
+    def from_pattern(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        n: int,
+        resolved: list[tuple[int, int]],
+    ) -> "PruningPlan":
+        """Build the plan from a lower-triangular CSC pattern (sorted rows)."""
+        rows: list[np.ndarray] = []
+        nnz: list[int] = []
+        for r0, r1 in resolved:
+            chunks = []
+            total = 0
+            for j in range(r0, r1):
+                col = indices[indptr[j] : indptr[j + 1]]
+                lo = int(np.searchsorted(col, r1, side="left"))
+                if col.size > lo:
+                    chunks.append(col[lo:])
+                    total += col.size - lo
+            if chunks:
+                rows.append(np.unique(np.concatenate(chunks)) - r1)
+            else:
+                rows.append(np.empty(0, dtype=np.intp))
+            nnz.append(total)
+        return cls(n=n, blocks=tuple(resolved), rows=tuple(rows), nnz=tuple(nnz))
 
 
 def trsm_orig(
@@ -89,6 +144,7 @@ def trsm_factor_split(
     blocks: BlockSpec,
     storage: str = "dense",
     prune: bool = True,
+    plan: PruningPlan | None = None,
 ) -> None:
     """Factor-splitting TRSM (Fig. 3b).
 
@@ -100,13 +156,18 @@ def trsm_factor_split(
     2. GEMM: ``X[r1:, :w] -= L[r1:, r0:r1] @ X[r0:r1, :w]``.
 
     With *prune* the GEMM runs only on the non-empty rows of the
-    sub-diagonal block (gather -> dense GEMM -> scatter-subtract).
+    sub-diagonal block (gather -> dense GEMM -> scatter-subtract).  An
+    optional precomputed :class:`PruningPlan` (from the batch pattern cache)
+    supplies the non-empty rows without rescanning the factor.
     """
     require(storage in FACTOR_STORAGES, f"unknown factor storage {storage!r}")
     n = l.shape[0]
     require(x.shape == (shape.n_rows, shape.n_cols), "RHS/shape mismatch")
     require(shape.n_rows == n, "factor order must match RHS rows")
-    for r0, r1 in blocks.resolve(n):
+    resolved = blocks.resolve(n)
+    if plan is not None:
+        require(plan.matches(n, resolved), "pruning plan does not match factor/blocks")
+    for bi, (r0, r1) in enumerate(resolved):
         w = shape.width_below(r1)
         if w == 0:
             continue  # the whole top block is structurally zero
@@ -124,7 +185,14 @@ def trsm_factor_split(
             continue
         if prune:
             lsub_csr = lsub.tocsr()
-            nonempty = np.flatnonzero(np.diff(lsub_csr.indptr)).astype(np.intp)
+            if plan is not None:
+                require(
+                    lsub.nnz == plan.nnz[bi],
+                    "pruning plan does not match the factor pattern",
+                )
+                nonempty = plan.rows[bi]
+            else:
+                nonempty = np.flatnonzero(np.diff(lsub_csr.indptr)).astype(np.intp)
             a_packed = ex.densify(sp.csr_matrix(lsub_csr[nonempty]))
             tmp = np.zeros((nonempty.size, w))
             ex.gemm(a_packed, xtop, tmp, beta=0.0)
@@ -136,4 +204,10 @@ def trsm_factor_split(
             ex.spmm(lsub, xtop, x[r1:, :w], alpha=-1.0, beta=1.0)
 
 
-__all__ = ["trsm_orig", "trsm_rhs_split", "trsm_factor_split", "FACTOR_STORAGES"]
+__all__ = [
+    "trsm_orig",
+    "trsm_rhs_split",
+    "trsm_factor_split",
+    "PruningPlan",
+    "FACTOR_STORAGES",
+]

@@ -23,7 +23,13 @@ from repro.feti.operator import (
     factorize_subdomain,
 )
 from repro.feti.pcpg import PcpgResult, pcpg
-from repro.feti.planner import DEFAULT_CANDIDATES, Plan, plan_approach
+from repro.feti.planner import (
+    DEFAULT_CANDIDATES,
+    Plan,
+    PopulationPlan,
+    plan_approach,
+    plan_population,
+)
 from repro.feti.preconditioner import (
     DirichletPreconditioner,
     IdentityPreconditioner,
@@ -61,6 +67,8 @@ __all__ = [
     "make_preconditioner",
     "Plan",
     "plan_approach",
+    "PopulationPlan",
+    "plan_population",
     "DEFAULT_CANDIDATES",
     "APPROACHES",
     "make_approach",

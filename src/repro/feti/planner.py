@@ -52,6 +52,60 @@ class Plan:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class PopulationPlan:
+    """Per-member approach plans, computed once per fingerprint group.
+
+    ``keys[i]`` is the i-th member's fingerprint key; ``group_plans`` maps
+    each distinct key to the :class:`Plan` its group shares.
+    """
+
+    keys: list[str]
+    group_plans: dict[str, Plan]
+
+    @property
+    def n_members(self) -> int:
+        return len(self.keys)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_plans)
+
+    def plan_for(self, i: int) -> Plan:
+        return self.group_plans[self.keys[i]]
+
+    def chosen_for(self, i: int) -> str:
+        return self.plan_for(i).chosen
+
+
+def plan_population(
+    members: list[tuple[CholeskyFactor, sp.spmatrix]],
+    dim: int,
+    expected_iterations: int,
+    candidates: tuple[str, ...] = DEFAULT_CANDIDATES,
+) -> PopulationPlan:
+    """Plan approaches for a whole subdomain population.
+
+    Groups members by structural fingerprint (pattern of ``L`` + permutation
+    + pattern of ``B̃^T``) and runs the candidate pricing **once per group**
+    instead of once per member — on structured decompositions with many
+    identical subdomains this collapses the planning cost to the number of
+    distinct patterns.
+    """
+    from repro.batch.fingerprint import factor_fingerprint
+
+    keys: list[str] = []
+    group_plans: dict[str, Plan] = {}
+    for factor, bt in members:
+        fp = factor_fingerprint(factor, bt)
+        if fp.key not in group_plans:
+            group_plans[fp.key] = plan_approach(
+                factor, bt, dim, expected_iterations, candidates
+            )
+        keys.append(fp.key)
+    return PopulationPlan(keys=keys, group_plans=group_plans)
+
+
 def plan_approach(
     factor: CholeskyFactor,
     bt: sp.spmatrix,
@@ -83,4 +137,10 @@ def plan_approach(
     return Plan(chosen=chosen, expected_iterations=expected_iterations, timings=timings)
 
 
-__all__ = ["Plan", "plan_approach", "DEFAULT_CANDIDATES"]
+__all__ = [
+    "Plan",
+    "plan_approach",
+    "PopulationPlan",
+    "plan_population",
+    "DEFAULT_CANDIDATES",
+]

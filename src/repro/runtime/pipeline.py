@@ -72,7 +72,10 @@ def run_preprocessing_pipeline(
     """
     require(mode in PIPELINE_MODES, f"unknown pipeline mode {mode!r}")
     require(len(work) >= 1, "no subdomains")
-    require(n_threads >= 1 and n_streams >= 1, "need workers")
+    require(n_threads >= 1, "need at least one CPU worker")
+    # n_streams == 0 is fine for CPU-only assembly; the scheduler validates
+    # that every resource class actually used has at least one worker.
+    require(n_streams >= 0, "n_streams must be >= 0")
 
     asm_resource = "gpu" if assembly_on_gpu else "cpu"
     tasks: list[Task] = []

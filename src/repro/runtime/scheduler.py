@@ -61,8 +61,15 @@ def schedule_tasks(tasks: list[Task], n_cpu: int, n_gpu: int) -> Schedule:
     Dependency-respecting, greedy earliest-start: when several tasks are
     ready, submission order breaks ties (the paper's loop processes
     subdomains in order).  Raises on cycles or unknown dependencies.
+
+    A worker pool may be empty (size 0) as long as no task uses that
+    resource class — pure-CPU schedules don't need a GPU stream pool and
+    vice versa.
     """
-    require(n_cpu >= 1 and n_gpu >= 1, "need at least one worker per pool")
+    require(n_cpu >= 0 and n_gpu >= 0, "worker counts must be >= 0")
+    used = {t.resource for t in tasks}
+    require("cpu" not in used or n_cpu >= 1, "cpu tasks scheduled but n_cpu == 0")
+    require("gpu" not in used or n_gpu >= 1, "gpu tasks scheduled but n_gpu == 0")
     by_id = {t.task_id: t for t in tasks}
     require(len(by_id) == len(tasks), "duplicate task ids")
     for t in tasks:

@@ -38,7 +38,12 @@ from repro.sparse.schur_estimate import (
     estimate_augmented_cost,
     factor_etree,
 )
-from repro.sparse.symbolic import SymbolicFactor, factor_pattern_csc, symbolic_factorize
+from repro.sparse.symbolic import (
+    SymbolicFactor,
+    factor_pattern_csc,
+    symbolic_factorize,
+    symbolic_from_factor,
+)
 from repro.sparse.triangular import (
     TriangularSolver,
     solve_lower,
@@ -55,6 +60,7 @@ __all__ = [
     "postorder",
     "row_pattern",
     "symbolic_factorize",
+    "symbolic_from_factor",
     "SymbolicFactor",
     "factor_pattern_csc",
     "compute_ordering",

@@ -16,6 +16,7 @@ This is the "initialization" stage of the paper's three-stage FETI solver
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -62,6 +63,28 @@ class SymbolicFactor:
         if self.row_indptr is None or self.row_indices is None:
             raise ValueError("symbolic factor was computed without the full pattern")
         return self.row_indices[self.row_indptr[i] : self.row_indptr[i + 1]]
+
+    def pattern_digest(self) -> str:
+        """Stable hex digest of the factor pattern — the hashable view used
+        as a cache key by :mod:`repro.batch`.
+
+        Hashes the full row pattern when present, otherwise the elimination
+        tree plus the column counts (which determine the pattern for a given
+        matrix but are cheaper to store).
+        """
+        h = hashlib.sha256()
+        for arr in (
+            np.asarray([self.n], dtype=np.int64),
+            np.asarray(self.parent, dtype=np.int64),
+            np.asarray(self.col_counts, dtype=np.int64),
+        ):
+            h.update(np.ascontiguousarray(arr).tobytes())
+            h.update(b"|")
+        if self.row_indptr is not None and self.row_indices is not None:
+            for arr in (self.row_indptr, self.row_indices):
+                h.update(np.ascontiguousarray(np.asarray(arr, dtype=np.int64)).tobytes())
+                h.update(b"|")
+        return h.hexdigest()
 
 
 def symbolic_factorize(a: sp.spmatrix, with_pattern: bool = True) -> SymbolicFactor:
@@ -132,6 +155,50 @@ def _fundamental_supernodes(parent: np.ndarray, col_counts: np.ndarray) -> np.nd
     return np.asarray(starts, dtype=np.intp)
 
 
+def symbolic_from_factor(l: sp.spmatrix) -> SymbolicFactor:
+    """Recover the symbolic description from an existing factor's pattern.
+
+    The cheap path used by the batch pattern cache: no elimination-tree
+    traversal of ``A`` is needed because the factor already *is* the filled
+    pattern — the etree parent of column ``j`` is the first below-diagonal
+    row of column ``j`` of ``L``, column counts come straight from the CSC
+    pointers, and the row pattern is the CSR view minus the diagonal.
+    """
+    lc = l.tocsc()
+    lc.sort_indices()
+    n = check_sparse_square(lc, "l")
+    parent = np.full(n, -1, dtype=np.intp)
+    for j in range(n):
+        col = lc.indices[lc.indptr[j] : lc.indptr[j + 1]]
+        below = col[col > j]
+        if below.size:
+            parent[j] = below[0]
+    col_counts = np.asarray(np.diff(lc.indptr), dtype=np.int64)
+
+    lr = lc.tocsr()
+    lr.sort_indices()
+    rows: list[np.ndarray] = []
+    indptr_list: list[int] = [0]
+    nnz_below = 0
+    for i in range(n):
+        cols = lr.indices[lr.indptr[i] : lr.indptr[i + 1]]
+        patt = np.asarray(cols[cols < i], dtype=np.intp)
+        rows.append(patt)
+        nnz_below += patt.size
+        indptr_list.append(nnz_below)
+
+    return SymbolicFactor(
+        n=n,
+        parent=parent,
+        col_counts=col_counts,
+        nnz_l=int(col_counts.sum()),
+        flops=cholesky_flops(col_counts),
+        row_indptr=np.asarray(indptr_list, dtype=np.intp),
+        row_indices=np.concatenate(rows) if rows else np.empty(0, dtype=np.intp),
+        supernodes=_fundamental_supernodes(parent, col_counts),
+    )
+
+
 def factor_pattern_csc(sym: SymbolicFactor) -> sp.csc_matrix:
     """Materialise the pattern of ``L`` as a CSC boolean matrix (incl. diagonal)."""
     if sym.row_indptr is None or sym.row_indices is None:
@@ -149,4 +216,9 @@ def factor_pattern_csc(sym: SymbolicFactor) -> sp.csc_matrix:
     return sp.csc_matrix((data, (rows_arr, cols_arr)), shape=(n, n))
 
 
-__all__ = ["SymbolicFactor", "symbolic_factorize", "factor_pattern_csc"]
+__all__ = [
+    "SymbolicFactor",
+    "symbolic_factorize",
+    "symbolic_from_factor",
+    "factor_pattern_csc",
+]

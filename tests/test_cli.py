@@ -37,6 +37,37 @@ def test_cli_run_saves_results(tmp_path, capsys):
     assert (tmp_path / "fig05.txt").exists()
 
 
+def test_cli_batch(capsys):
+    rc = main(["batch", "--dim", "2", "--cells", "12", "--grid", "2x2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "hit rate" in out
+    assert "pipeline makespan" in out
+
+
+def test_cli_batch_no_cache_estimate_only(capsys):
+    rc = main(
+        [
+            "batch",
+            "--dim",
+            "2",
+            "--cells",
+            "12",
+            "--grid",
+            "2x2",
+            "--device",
+            "cpu",
+            "--streams",
+            "0",
+            "--no-cache",
+            "--estimate-only",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "0 hits" in out
+
+
 def test_cli_unknown_experiment():
     with pytest.raises(ValueError, match="unknown experiment"):
         main(["run", "fig99"])

@@ -45,6 +45,32 @@ def test_scheduler_cross_resource_dependency():
     assert s.busy["gpu"] == 1.0
 
 
+def test_scheduler_allows_empty_unused_pool():
+    """A pure-CPU schedule needs no GPU streams (and vice versa)."""
+    tasks = [Task(f"t{i}", 1.0, "cpu") for i in range(4)]
+    s = schedule_tasks(tasks, n_cpu=2, n_gpu=0)
+    assert s.makespan == 2.0
+    s2 = schedule_tasks([Task("g", 1.0, "gpu")], n_cpu=0, n_gpu=1)
+    assert s2.makespan == 1.0
+
+
+def test_scheduler_rejects_missing_pool_for_used_resource():
+    with pytest.raises(ValueError, match="gpu tasks scheduled"):
+        schedule_tasks([Task("g", 1.0, "gpu")], n_cpu=1, n_gpu=0)
+    with pytest.raises(ValueError, match="cpu tasks scheduled"):
+        schedule_tasks([Task("c", 1.0, "cpu")], n_cpu=0, n_gpu=1)
+    with pytest.raises(ValueError, match=">= 0"):
+        schedule_tasks([], n_cpu=-1, n_gpu=1)
+
+
+def test_pipeline_cpu_only_zero_streams():
+    work = [SubdomainWork(factorization=1.0, assembly=0.5) for _ in range(4)]
+    res = run_preprocessing_pipeline(
+        work, mode="mix", n_threads=2, n_streams=0, assembly_on_gpu=False
+    )
+    assert res.makespan > 0
+
+
 def test_scheduler_validates():
     with pytest.raises(ValueError, match="unknown"):
         schedule_tasks([Task("a", 1.0, "cpu", deps=["ghost"])], 1, 1)
