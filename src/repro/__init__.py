@@ -43,6 +43,10 @@ _LAZY = {
     "BatchItem": ("repro.batch", "BatchItem"),
     "PatternCache": ("repro.batch", "PatternCache"),
     "BatchStats": ("repro.batch", "BatchStats"),
+    "items_from_decomposition": ("repro.batch", "items_from_decomposition"),
+    "geometric_fingerprint": ("repro.batch", "geometric_fingerprint"),
+    "canonical_frame": ("repro.sparse", "canonical_frame"),
+    "canonical_coords": ("repro.sparse", "canonical_coords"),
     "cholesky": ("repro.sparse", "cholesky"),
     "A100_40GB": ("repro.gpu", "A100_40GB"),
     "EPYC_7763_CORE": ("repro.gpu", "EPYC_7763_CORE"),

@@ -73,22 +73,19 @@ def _cmd_solve(args) -> int:
 
 
 def _cmd_batch(args) -> int:
-    from repro.batch import BatchAssembler, BatchItem, PatternCache
+    from repro.batch import BatchAssembler, PatternCache, items_from_decomposition
     from repro.core import default_config
     from repro.dd import decompose
     from repro.fem import heat_transfer_2d, heat_transfer_3d
-    from repro.feti.operator import factorize_subdomain
 
+    dirichlet = () if args.floating else ("left",)
     if args.dim == 2:
-        problem = heat_transfer_2d(args.cells, dirichlet=("left",))
+        problem = heat_transfer_2d(args.cells, dirichlet=dirichlet)
     else:
-        problem = heat_transfer_3d(args.cells, dirichlet=("left",))
+        problem = heat_transfer_3d(args.cells, dirichlet=dirichlet)
     grid = tuple(int(g) for g in args.grid.split("x"))
     decomposition = decompose(problem, grid=grid)
-    items = [
-        BatchItem(factorize_subdomain(sub), sub.bt, label=f"sub{sub.index}")
-        for sub in decomposition.subdomains
-    ]
+    items = items_from_decomposition(decomposition)
     cache = PatternCache(max_entries=0) if args.no_cache else PatternCache()
     config = default_config(args.device, args.dim)
     if args.device == "gpu":
@@ -143,6 +140,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_batch.add_argument(
         "--estimate-only", action="store_true", help="price the batch without numerics"
+    )
+    p_batch.add_argument(
+        "--floating",
+        action="store_true",
+        help="no Dirichlet boundary: every subdomain floats (maximal grouping)",
     )
 
     args = parser.parse_args(argv)

@@ -15,11 +15,13 @@ from repro.batch.engine import (
     BatchItem,
     BatchResult,
     build_artifacts,
+    items_from_decomposition,
     symbolic_analysis_cost,
 )
 from repro.batch.fingerprint import (
     Fingerprint,
     factor_fingerprint,
+    geometric_fingerprint,
     pattern_digest,
     subdomain_fingerprint,
 )
@@ -37,6 +39,8 @@ __all__ = [
     "pattern_digest",
     "subdomain_fingerprint",
     "factor_fingerprint",
+    "geometric_fingerprint",
     "build_artifacts",
+    "items_from_decomposition",
     "symbolic_analysis_cost",
 ]

@@ -25,10 +25,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
 import scipy.sparse as sp
 
 from repro.batch.cache import PatternCache, SymbolicArtifacts
-from repro.batch.fingerprint import factor_fingerprint
+from repro.batch.fingerprint import factor_fingerprint, geometric_fingerprint
 from repro.batch.stats import BatchStats
 from repro.core.assembler import SchurAssembler, SchurAssemblyResult, prepare_pattern
 from repro.core.config import AssemblyConfig
@@ -45,11 +46,18 @@ from repro.util import require
 
 @dataclass(frozen=True)
 class BatchItem:
-    """One member of an assembly batch."""
+    """One member of an assembly batch.
+
+    *coords* — the subdomain's DOF coordinates — is optional; when present
+    the engine additionally reports the coarser translation/orientation-
+    invariant geometric grouping alongside the exact pattern groups (see
+    :func:`repro.batch.fingerprint.geometric_fingerprint`).
+    """
 
     factor: CholeskyFactor
     bt: sp.spmatrix
     label: str | None = None
+    coords: np.ndarray | None = None
 
 
 @dataclass
@@ -59,7 +67,10 @@ class BatchResult:
     ``results[i]`` corresponds to the i-th input item (``None`` entries when
     the batch was planned without execution); ``work[i]`` is its priced
     preprocessing; ``groups`` maps fingerprint keys to member indices and
-    ``artifacts`` to the shared pattern artifacts.
+    ``artifacts`` to the shared pattern artifacts.  ``geometric_groups``
+    maps geometric fingerprint keys to member indices for the items that
+    carried coordinates (empty otherwise) — the symmetry classes a
+    structured decomposition's members fall into.
     """
 
     results: list[SchurAssemblyResult | None]
@@ -67,6 +78,7 @@ class BatchResult:
     stats: BatchStats
     groups: dict[str, list[int]]
     artifacts: dict[str, SymbolicArtifacts]
+    geometric_groups: dict[str, list[int]]
 
     @property
     def n_subdomains(self) -> int:
@@ -101,12 +113,18 @@ def build_artifacts(
     spec: DeviceSpec,
     transfer: TransferSpec | None,
     fingerprint,
+    bt_rows: sp.spmatrix | None = None,
 ) -> SymbolicArtifacts:
-    """Run the full pattern-only analysis for one fingerprint group."""
+    """Run the full pattern-only analysis for one fingerprint group.
+
+    *bt_rows* accepts a precomputed ``bt.tocsr()[factor.perm]`` (the engine
+    already permutes it for the fingerprint).
+    """
     n, m = factor.n, bt.shape[1]
     patt = FactorPattern.from_factor(factor)
-    bt_rows = bt.tocsr()[factor.perm].tocsc()
-    prepared = prepare_pattern(bt_rows, config, factor_pattern=patt)
+    if bt_rows is None:
+        bt_rows = bt.tocsr()[factor.perm]
+    prepared = prepare_pattern(bt_rows.tocsc(), config, factor_pattern=patt)
     estimate = estimate_from_patterns(patt, prepared.shape, config, spec, transfer)
     assembler = SchurAssembler(config=config, spec=spec, transfer=transfer)
     memory = assembler.estimate_memory(factor, m)
@@ -137,10 +155,16 @@ class BatchAssembler:
         transfer: TransferSpec | None = PCIE4_X16,
         cache: PatternCache | None = None,
         library: FactorizationLibrary = CHOLMOD,
+        tolerance: float | None = None,
     ) -> None:
+        from repro.sparse.canonical import DEFAULT_TOLERANCE
+
         self.assembler = SchurAssembler(config=config, spec=spec, transfer=transfer)
         self.cache = cache if cache is not None else PatternCache()
         self.library = library
+        #: Relative quantization tolerance of the geometric grouping (for
+        #: items carrying coordinates); raise it for noisy mesh coordinates.
+        self.tolerance = DEFAULT_TOLERANCE if tolerance is None else tolerance
 
     @classmethod
     def for_cpu(
@@ -148,10 +172,16 @@ class BatchAssembler:
         config: AssemblyConfig | None = None,
         cache: PatternCache | None = None,
         library: FactorizationLibrary = CHOLMOD,
+        tolerance: float | None = None,
     ) -> "BatchAssembler":
         cpu = SchurAssembler.for_cpu(config=config)
         return cls(
-            config=cpu.config, spec=cpu.spec, transfer=None, cache=cache, library=library
+            config=cpu.config,
+            spec=cpu.spec,
+            transfer=None,
+            cache=cache,
+            library=library,
+            tolerance=tolerance,
         )
 
     @property
@@ -162,18 +192,26 @@ class BatchAssembler:
     def spec(self) -> DeviceSpec:
         return self.assembler.spec
 
-    def analyze(self, factor: CholeskyFactor, bt: sp.spmatrix) -> tuple[SymbolicArtifacts, bool]:
+    def analyze(
+        self,
+        factor: CholeskyFactor,
+        bt: sp.spmatrix,
+        bt_rows: sp.spmatrix | None = None,
+    ) -> tuple[SymbolicArtifacts, bool]:
         """Fetch (or build) the pattern artifacts for one subdomain.
 
         Returns ``(artifacts, was_cache_hit)``.  The cache key mixes in the
         assembly configuration *and* the device/transfer identity: cached
         estimates are priced on a specific roofline, so one cache can be
         shared across engines with different configs or specs safely.
+        *bt_rows* accepts a precomputed ``bt.tocsr()[factor.perm]``.
         """
         extra = (
             f"{self.config.describe()}|{self.assembler.spec!r}|{self.assembler.transfer!r}"
         )
-        fp = factor_fingerprint(factor, bt, extra=extra)
+        if bt_rows is None:
+            bt_rows = bt.tocsr()[factor.perm].tocsc()  # permute once, share
+        fp = factor_fingerprint(factor, bt, extra=extra, bt_rows=bt_rows)
         return self.cache.get_or_build(
             fp.key,
             lambda: build_artifacts(
@@ -183,6 +221,7 @@ class BatchAssembler:
                 self.assembler.spec,
                 self.assembler.transfer,
                 fp,
+                bt_rows=bt_rows,
             ),
         )
 
@@ -212,15 +251,22 @@ class BatchAssembler:
         results: list[SchurAssemblyResult | None] = []
         work: list[SubdomainWork] = []
         groups: dict[str, list[int]] = {}
+        geometric_groups: dict[str, list[int]] = {}
         artifacts: dict[str, SymbolicArtifacts] = {}
         analysis = 0.0
         saved = 0.0
         for idx, item in enumerate(norm):
             require(sp.issparse(item.bt), f"item {idx}: bt must be sparse")
-            art, hit = self.analyze(item.factor, item.bt)
+            # One row permutation per item, shared by the fingerprint, the
+            # artifact build (on a miss) and the executed numerics.
+            bt_rows = item.bt.tocsr()[item.factor.perm].tocsc()
+            art, hit = self.analyze(item.factor, item.bt, bt_rows=bt_rows)
             key = art.fingerprint.key
             groups.setdefault(key, []).append(idx)
             artifacts[key] = art
+            if item.coords is not None:
+                geo = geometric_fingerprint(item.coords, item.bt, tolerance=self.tolerance)
+                geometric_groups.setdefault(geo.key, []).append(idx)
             if hit:
                 saved += art.analysis_seconds
             else:
@@ -236,7 +282,11 @@ class BatchAssembler:
             if execute:
                 results.append(
                     self.assembler.assemble(
-                        item.factor, item.bt, executor=executor, prepared=art.prepared
+                        item.factor,
+                        item.bt,
+                        executor=executor,
+                        prepared=art.prepared,
+                        bt_rows=bt_rows,
                     )
                 )
             else:
@@ -246,6 +296,7 @@ class BatchAssembler:
         stats = BatchStats(
             n_subdomains=len(norm),
             n_groups=len(groups),
+            n_geometric_groups=len(geometric_groups),
             hits=after.hits - before.hits,
             misses=after.misses - before.misses,
             evictions=after.evictions - before.evictions,
@@ -256,7 +307,12 @@ class BatchAssembler:
             wall_seconds=time.perf_counter() - t0,
         )
         return BatchResult(
-            results=results, work=work, stats=stats, groups=groups, artifacts=artifacts
+            results=results,
+            work=work,
+            stats=stats,
+            groups=groups,
+            artifacts=artifacts,
+            geometric_groups=geometric_groups,
         )
 
     def plan_batch(self, items: list[BatchItem | tuple]) -> BatchResult:
@@ -282,10 +338,39 @@ class BatchAssembler:
         )
 
 
+def items_from_decomposition(
+    decomposition,
+    ordering: str = "nd",
+    engine: str = "superlu",
+    conform: bool = True,
+) -> list[BatchItem]:
+    """Factorize every subdomain of a :class:`~repro.dd.decomposition.Decomposition`
+    into :class:`BatchItem` inputs — the dd → batch bridge.
+
+    Each item carries the subdomain's DOF coordinates so the engine can
+    report the geometric symmetry classes, and the factorization goes
+    through :func:`repro.feti.operator.factorize_subdomain`, whose
+    canonical-frame ordering and symbolic-conformed factor structure make
+    translate-identical subdomains hit the same pattern-cache entry.
+    """
+    from repro.feti.operator import factorize_subdomain
+
+    return [
+        BatchItem(
+            factor=factorize_subdomain(sub, ordering=ordering, engine=engine, conform=conform),
+            bt=sub.bt,
+            label=f"sub{sub.index}",
+            coords=sub.coords,
+        )
+        for sub in decomposition.subdomains
+    ]
+
+
 __all__ = [
     "BatchItem",
     "BatchResult",
     "BatchAssembler",
     "build_artifacts",
+    "items_from_decomposition",
     "symbolic_analysis_cost",
 ]

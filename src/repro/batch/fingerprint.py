@@ -10,15 +10,25 @@ per *group* instead of once per subdomain, the same way the paper's
 three-stage solver performs symbolic analysis once and reuses it across
 repeated numeric factorizations (§2.2).
 
-Two granularities:
+Three granularities:
 
 * :func:`subdomain_fingerprint` — from the regularized stiffness pattern,
   the gluing pattern, and the ordering *name* (cheap, available before any
-  factorization; used by :func:`repro.feti.planner.plan_population`).
+  factorization).  Pass ``coords`` to mix in the canonical-frame digest —
+  the geometry-aware variant that guards against pattern collisions between
+  geometrically different subdomains.
 * :func:`factor_fingerprint` — from the *stored* pattern of the numeric
-  factor ``L``, its permutation, and the gluing pattern.  This is the exact
-  key: equal fingerprints guarantee that every cached pattern artifact
-  (stepped permutation, pruning plan, cost estimate) transfers bit-for-bit.
+  factor ``L``, the permuted gluing pattern, and the gluing shape.  This is
+  the exact key: equal fingerprints guarantee that every cached pattern
+  artifact (stepped permutation, pruning plan, cost estimate) transfers
+  bit-for-bit.
+* :func:`geometric_fingerprint` — from the orientation- and translation-
+  canonical lattice geometry labelled with the per-DOF gluing multiplicity
+  (:func:`repro.sparse.canonical.canonical_signature`).  The coarsest key:
+  mirror- and rotation-identical subdomains (the corner/edge classes of a
+  structured grid) collapse together.  Safe for *pricing* — isomorphic
+  patterns cost the same — but not for exact artifact reuse, where column
+  order matters; used by :func:`repro.feti.planner.plan_population`.
 """
 
 from __future__ import annotations
@@ -29,7 +39,13 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse.canonical import (
+    DEFAULT_TOLERANCE,
+    canonical_signature,
+    frame_digest,
+)
 from repro.sparse.cholesky import CholeskyFactor
+from repro.sparse.symbolic import pattern_digest
 from repro.util import require
 
 
@@ -66,19 +82,13 @@ def _update_pattern(h, a: sp.spmatrix) -> int:
     return int(ac.nnz)
 
 
-def pattern_digest(a: sp.spmatrix) -> str:
-    """Hex digest of the sparsity pattern (shape + sorted CSC structure)."""
-    require(sp.issparse(a), "pattern_digest needs a sparse matrix")
-    h = hashlib.sha256()
-    _update_pattern(h, a)
-    return h.hexdigest()
-
-
 def subdomain_fingerprint(
     k: sp.spmatrix,
     bt: sp.spmatrix,
     ordering: str = "nd",
     extra: str = "",
+    coords: np.ndarray | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
 ) -> Fingerprint:
     """Fingerprint a subdomain before factorization.
 
@@ -87,6 +97,13 @@ def subdomain_fingerprint(
     Subdomains sharing this fingerprint produce identically-structured
     factors whenever the ordering is computed deterministically from the
     pattern (natural/RCM/AMD) or shared explicitly across the group.
+
+    With *coords*, the digest of the canonical local frame
+    (:func:`repro.sparse.canonical.frame_digest`) is mixed in — the
+    geometry-aware variant.  The frame digest is translation-invariant, so
+    translate-identical subdomains still collapse, while subdomains whose
+    patterns coincide by accident but whose geometry differs (and whose
+    geometric ND permutations could therefore differ) stay apart.
     """
     require(sp.issparse(k) and sp.issparse(bt), "k and bt must be sparse")
     require(k.shape[0] == bt.shape[0], "k and bt row counts differ")
@@ -95,6 +112,13 @@ def subdomain_fingerprint(
     _update_pattern(h, bt)
     h.update(ordering.encode())
     h.update(b"|")
+    if coords is not None:
+        require(
+            np.asarray(coords).shape[0] == k.shape[0],
+            "coords must have one row per DOF",
+        )
+        h.update(frame_digest(coords, tolerance).encode())
+        h.update(b"|")
     h.update(extra.encode())
     return Fingerprint(key=h.hexdigest(), n=k.shape[0], m=bt.shape[1], nnz=nnz)
 
@@ -103,22 +127,70 @@ def factor_fingerprint(
     factor: CholeskyFactor,
     bt: sp.spmatrix,
     extra: str = "",
+    bt_rows: sp.spmatrix | None = None,
 ) -> Fingerprint:
     """Fingerprint a factorized subdomain (the batch engine's cache key).
 
-    Hashes the stored pattern of ``L``, the fill-reducing permutation, and
-    the pattern of *bt*.  *extra* lets callers mix configuration identity
-    into the key (the engine passes ``config.describe()`` so one cache can
-    serve several assembly configurations).
+    Hashes the stored pattern of ``L`` and the pattern of *bt with the
+    factor's permutation applied to its rows* — exactly the two patterns
+    every cached artifact is computed from (the stepped permutation and
+    pruning plan consume ``bt[perm]`` and ``pattern(L)``, nothing else).
+
+    The permutation is deliberately **not** hashed raw: two members of the
+    same canonical group can carry permutations that differ only by a
+    relabeling of tied nested-dissection separators, and such permutations
+    still produce the same ``pattern(L)`` and the same permuted gluing
+    pattern — hashing the raw ``perm`` would split the cache for no reason.
+    Equal fingerprints guarantee bit-for-bit artifact transfer because the
+    key *is* the full input of the pattern-only analysis.
+
+    *extra* lets callers mix configuration identity into the key (the
+    engine passes ``config.describe()`` plus the device identity so one
+    cache can serve several assembly configurations).  *bt_rows* accepts a
+    precomputed ``bt.tocsr()[factor.perm]`` so hot loops that need the
+    permuted gluing anyway (the batch engine) don't permute twice.
     """
     require(sp.issparse(bt), "bt must be sparse")
     require(bt.shape[0] == factor.n, "bt row count must match factor order")
     h = hashlib.sha256()
     nnz = _update_pattern(h, factor.l)
-    _update(h, factor.perm)
-    _update_pattern(h, bt)
+    _update_pattern(h, bt.tocsr()[factor.perm] if bt_rows is None else bt_rows)
     h.update(extra.encode())
     return Fingerprint(key=h.hexdigest(), n=factor.n, m=bt.shape[1], nnz=nnz)
+
+
+def geometric_fingerprint(
+    coords: np.ndarray,
+    bt: sp.spmatrix,
+    tolerance: float = DEFAULT_TOLERANCE,
+    extra: str = "",
+) -> Fingerprint:
+    """Orientation/translation-invariant pricing key of one subdomain.
+
+    Hashes the canonical signature of the DOF coordinates labelled with
+    each DOF's gluing multiplicity (how many columns of ``B̃^T`` touch it),
+    plus the gluing shape and nonzero count.  Two subdomains share this key
+    exactly when a rigid lattice symmetry (translation + axis permutation +
+    flips) maps one glued point set onto the other — e.g. the four corner
+    subdomains of a structured grid, or the twelve edge subdomains.
+
+    Members of a geometric group have *isomorphic* (not bit-equal) patterns:
+    use it to share per-group decisions that only depend on pattern shape
+    and size — approach pricing, cost estimates — never to transfer exact
+    pattern artifacts such as stepped permutations.
+    """
+    require(sp.issparse(bt), "bt must be sparse")
+    coords = np.asarray(coords, dtype=np.float64)
+    require(coords.shape[0] == bt.shape[0], "coords must have one row per DOF")
+    multiplicity = np.asarray(bt.tocsr().getnnz(axis=1), dtype=np.int64)
+    h = hashlib.sha256()
+    h.update(canonical_signature(coords, multiplicity, tolerance).encode())
+    h.update(b"|")
+    _update(h, np.asarray([bt.shape[0], bt.shape[1], bt.nnz]))
+    h.update(extra.encode())
+    return Fingerprint(
+        key=h.hexdigest(), n=bt.shape[0], m=bt.shape[1], nnz=int(bt.nnz)
+    )
 
 
 __all__ = [
@@ -126,4 +198,5 @@ __all__ = [
     "pattern_digest",
     "subdomain_fingerprint",
     "factor_fingerprint",
+    "geometric_fingerprint",
 ]

@@ -25,6 +25,7 @@ class BatchStats:
 
     n_subdomains: int = 0
     n_groups: int = 0
+    n_geometric_groups: int = 0
     hits: int = 0
     misses: int = 0
     evictions: int = 0
@@ -60,6 +61,7 @@ class BatchStats:
         return BatchStats(
             n_subdomains=self.n_subdomains + other.n_subdomains,
             n_groups=self.n_groups + other.n_groups,
+            n_geometric_groups=self.n_geometric_groups + other.n_geometric_groups,
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             evictions=self.evictions + other.evictions,
@@ -72,8 +74,13 @@ class BatchStats:
 
     def summary(self) -> str:
         """Human-readable multi-line report."""
+        geo = (
+            f", {self.n_geometric_groups} geometric class(es)"
+            if self.n_geometric_groups
+            else ""
+        )
         lines = [
-            f"subdomains:        {self.n_subdomains} in {self.n_groups} pattern group(s)",
+            f"subdomains:        {self.n_subdomains} in {self.n_groups} pattern group(s){geo}",
             f"cache:             {self.hits} hits / {self.misses} misses "
             f"({self.hit_rate * 100.0:.1f}% hit rate, {self.evictions} evictions)",
             f"analysis:          {self.analysis_seconds * 1e3:.3f} ms charged, "

@@ -180,6 +180,7 @@ class SchurAssembler:
         executor: Executor | None = None,
         keep_y: bool = False,
         prepared: PreparedPattern | None = None,
+        bt_rows: sp.spmatrix | None = None,
     ) -> SchurAssemblyResult:
         """Assemble ``F = B K_reg^{-1} B^T`` for one subdomain.
 
@@ -200,6 +201,10 @@ class SchurAssembler:
             Precomputed pattern artifacts (stepped permutation + pruning
             plan) from the batch pattern cache; numerics are identical with
             and without, only the host-side analysis is skipped.
+        bt_rows:
+            Precomputed ``bt.tocsr()[factor.perm]`` — the batch engine
+            permutes it once per item for the fingerprint and shares it
+            here instead of paying the row permutation again.
         """
         require(sp.issparse(bt), "bt must be sparse")
         n = factor.n
@@ -211,7 +216,14 @@ class SchurAssembler:
         mark = ex.elapsed
 
         # --- stepped permutation (host side) --------------------------------
-        bt_rows = bt.tocsr()[factor.perm].tocsc()
+        if bt_rows is None:
+            bt_rows = bt.tocsr()[factor.perm].tocsc()
+        else:
+            require(
+                sp.issparse(bt_rows) and bt_rows.shape == bt.shape,
+                "bt_rows must be sparse with the same shape as bt",
+            )
+            bt_rows = bt_rows.tocsc()
         if prepared is not None:
             require(
                 prepared.shape.n_rows == n and prepared.shape.n_cols == m,

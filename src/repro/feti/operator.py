@@ -68,11 +68,23 @@ def factorize_subdomain(
     sub: Subdomain,
     ordering: str = "nd",
     engine: str = "superlu",
+    conform: bool = True,
 ) -> CholeskyFactor:
     """Factorize the (regularized) subdomain matrix with coordinates-aware
-    nested dissection — the per-subdomain numerical factorization of §2.2."""
+    nested dissection — the per-subdomain numerical factorization of §2.2.
+
+    *conform* (default) pads the stored factor to the symbolic fill pattern
+    so its structure is a pure function of the subdomain's patterns and
+    permutation — together with the canonical-frame ordering this makes
+    translate-identical subdomains factor-fingerprint identically (see
+    :mod:`repro.sparse.canonical` and :mod:`repro.batch.fingerprint`).
+    """
     return cholesky(
-        sub.regularized(), ordering=ordering, coords=sub.coords, engine=engine
+        sub.regularized(),
+        ordering=ordering,
+        coords=sub.coords,
+        engine=engine,
+        conform=conform,
     )
 
 

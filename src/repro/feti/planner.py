@@ -83,21 +83,42 @@ def plan_population(
     dim: int,
     expected_iterations: int,
     candidates: tuple[str, ...] = DEFAULT_CANDIDATES,
+    coords: list | None = None,
+    tolerance: float | None = None,
 ) -> PopulationPlan:
     """Plan approaches for a whole subdomain population.
 
-    Groups members by structural fingerprint (pattern of ``L`` + permutation
-    + pattern of ``B̃^T``) and runs the candidate pricing **once per group**
+    Groups members and runs the candidate pricing **once per group**
     instead of once per member — on structured decompositions with many
     identical subdomains this collapses the planning cost to the number of
-    distinct patterns.
-    """
-    from repro.batch.fingerprint import factor_fingerprint
+    distinct classes.
 
+    Without *coords*, members group by the exact structural fingerprint
+    (pattern of ``L`` + permuted gluing pattern).  With *coords* — one DOF
+    coordinate array per member — they group by the translation- and
+    orientation-invariant :func:`repro.batch.fingerprint.geometric_fingerprint`
+    instead: mirror- and rotation-identical subdomains (the corner/edge/
+    interior classes of a structured grid) share one plan.  Pricing only
+    depends on pattern shapes and sizes, which rigid symmetries preserve,
+    so the coarser grouping is exact for planning purposes; a 5x5 grid
+    collapses from 25 plans to the handful of boundary classes.
+    """
+    from repro.batch.fingerprint import factor_fingerprint, geometric_fingerprint
+    from repro.sparse.canonical import DEFAULT_TOLERANCE
+
+    if coords is not None:
+        require(
+            len(coords) == len(members),
+            "coords must provide one coordinate array per member",
+        )
+    tol = DEFAULT_TOLERANCE if tolerance is None else tolerance
     keys: list[str] = []
     group_plans: dict[str, Plan] = {}
-    for factor, bt in members:
-        fp = factor_fingerprint(factor, bt)
+    for i, (factor, bt) in enumerate(members):
+        if coords is not None:
+            fp = geometric_fingerprint(coords[i], bt, tolerance=tol)
+        else:
+            fp = factor_fingerprint(factor, bt)
         if fp.key not in group_plans:
             group_plans[fp.key] = plan_approach(
                 factor, bt, dim, expected_iterations, candidates

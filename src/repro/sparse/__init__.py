@@ -5,11 +5,21 @@ This package is the from-scratch stand-in for MKL PARDISO / CHOLMOD / METIS
 that the paper's FETI implementation builds on.
 """
 
+from repro.sparse.canonical import (
+    DEFAULT_TOLERANCE,
+    CanonicalFrame,
+    canonical_coords,
+    canonical_frame,
+    canonical_signature,
+    frame_digest,
+    orientation_transforms,
+)
 from repro.sparse.cholesky import (
     ENGINES,
     CholeskyFactor,
     NotPositiveDefiniteError,
     cholesky,
+    conform_to_symbolic,
 )
 from repro.sparse.etree import elimination_tree, postorder, row_pattern
 from repro.sparse.nullspace import (
@@ -52,6 +62,14 @@ from repro.sparse.triangular import (
 )
 
 __all__ = [
+    "DEFAULT_TOLERANCE",
+    "CanonicalFrame",
+    "canonical_frame",
+    "canonical_coords",
+    "canonical_signature",
+    "frame_digest",
+    "orientation_transforms",
+    "conform_to_symbolic",
     "cholesky",
     "CholeskyFactor",
     "NotPositiveDefiniteError",

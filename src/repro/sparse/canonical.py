@@ -1,0 +1,232 @@
+"""Translation-invariant canonicalization of subdomain geometry.
+
+On structured decompositions, most subdomains are *translates* of one
+another: interior subdomains of a 5x5 grid share the stiffness pattern, the
+gluing pattern and the mesh geometry — only the absolute position differs.
+Every pattern-cache key in :mod:`repro.batch` is therefore supposed to
+collapse them into one group.  In practice absolute node coordinates leak
+into two decisions upstream of the fingerprint:
+
+* :func:`repro.sparse.regularization.choose_fixing_dofs` breaks distance
+  ties with float jitter that differs per grid position, and
+* geometric nested dissection (:mod:`repro.sparse.ordering.nested_dissection`)
+  picks its bisection axis with ``argmax`` over extents whose last-ulp
+  noise differs per grid position,
+
+so translate-identical subdomains end up with different fixing DOFs and
+different permutations — and fingerprint apart (observed: 5x5 grid → 25
+groups despite 9 interior subdomains sharing all patterns).
+
+The fix is a **canonical local frame**: coordinates are translated to the
+bounding-box origin and quantized onto an integer lattice whose quantum is
+a *relative* tolerance times the bounding-box size.  Quantized lattice
+coordinates of translate-identical subdomains are bit-for-bit equal, so
+every decision derived from them (ties included) is identical, and their
+digest is a translation-invariant geometry key.
+
+A second, stronger key canonicalizes *orientation* as well:
+:func:`canonical_signature` minimizes the lattice over all axis
+permutations and flips (the 8 symmetries of the square, 48 of the cube),
+so mirror- and rotation-identical subdomains — the four corner subdomains
+of a grid, say — also share a key.  That coarser key is what
+:func:`repro.feti.planner.plan_population` groups by: approach pricing only
+depends on patterns up to isomorphism, so reflected subdomains can share
+one plan even though their exact patterns differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import require
+
+#: Default relative quantization tolerance.  Coordinate jitter below
+#: ``tolerance * bounding_box_size / 2`` cannot split a group; geometric
+#: features closer together than the quantum are merged.
+DEFAULT_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class CanonicalFrame:
+    """A subdomain's geometry in its canonical (translation-free) frame.
+
+    Attributes
+    ----------
+    origin:
+        Per-axis minimum of the raw coordinates (the frame's anchor).
+    quantum:
+        Lattice spacing in raw units (``tolerance * scale``).
+    scale:
+        Bounding-box size used to make the tolerance relative.
+    tolerance:
+        The relative tolerance the frame was built with.
+    lattice:
+        ``(n, d)`` integer lattice coordinates — bit-identical for
+        translate-identical point sets.
+    """
+
+    origin: np.ndarray
+    quantum: float
+    scale: float
+    tolerance: float
+    lattice: np.ndarray
+
+    @property
+    def n_points(self) -> int:
+        return self.lattice.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.lattice.shape[1]
+
+    def coords(self) -> np.ndarray:
+        """Float canonical coordinates (lattice scaled by the tolerance).
+
+        The uniform positive scaling preserves every comparison the
+        ordering/fixing heuristics make (distances, extents, ties), while
+        keeping magnitudes O(1) regardless of the raw units.
+        """
+        return self.lattice.astype(np.float64) * self.tolerance
+
+    def digest(self) -> str:
+        """Translation-invariant hex digest of the canonical geometry."""
+        h = hashlib.sha256()
+        h.update(np.asarray(self.lattice.shape, dtype=np.int64).tobytes())
+        h.update(b"|")
+        h.update(np.ascontiguousarray(self.lattice).tobytes())
+        return h.hexdigest()
+
+
+def canonical_frame(
+    coords: np.ndarray, tolerance: float = DEFAULT_TOLERANCE
+) -> CanonicalFrame:
+    """Map *coords* to their canonical local frame.
+
+    Coordinates are shifted so the bounding-box minimum is the origin and
+    rounded to an integer lattice with spacing ``tolerance * scale`` where
+    *scale* is the largest bounding-box extent.  Rounding absorbs the float
+    jitter a rigid translation introduces (relative error ``eps * |offset|``
+    per coordinate), so two point sets that are translates of each other up
+    to jitter far below the quantum produce bit-identical lattices.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim == 1:
+        coords = coords[:, None]
+    require(coords.ndim == 2, "coords must be (n, d)")
+    require(0.0 < tolerance < 1.0, "tolerance must be in (0, 1)")
+    if coords.shape[0] == 0:
+        return CanonicalFrame(
+            origin=np.zeros(coords.shape[1]),
+            quantum=tolerance,
+            scale=0.0,
+            tolerance=tolerance,
+            lattice=np.empty(coords.shape, dtype=np.int64),
+        )
+    require(np.all(np.isfinite(coords)), "coords must be finite")
+    origin = coords.min(axis=0)
+    rel = coords - origin
+    scale = float(rel.max())
+    quantum = tolerance * scale if scale > 0.0 else tolerance
+    lattice = np.round(rel / quantum).astype(np.int64)
+    return CanonicalFrame(
+        origin=origin,
+        quantum=quantum,
+        scale=scale,
+        tolerance=tolerance,
+        lattice=lattice,
+    )
+
+
+def canonical_coords(
+    coords: np.ndarray, tolerance: float = DEFAULT_TOLERANCE
+) -> np.ndarray:
+    """Translation-invariant float coordinates (see :class:`CanonicalFrame`).
+
+    The drop-in replacement for absolute coordinates in
+    :func:`repro.sparse.regularization.choose_fixing_dofs` and
+    :func:`repro.sparse.ordering.nested_dissection.nd_ordering`: any two
+    translate-identical inputs yield bit-identical outputs, so argmin /
+    argmax / stable-sort tie-breaks are reproduced exactly across the
+    group.
+    """
+    return canonical_frame(coords, tolerance).coords()
+
+
+def frame_digest(coords: np.ndarray, tolerance: float = DEFAULT_TOLERANCE) -> str:
+    """Digest of the canonical frame — a translation-invariant geometry key."""
+    return canonical_frame(coords, tolerance).digest()
+
+
+def orientation_transforms(dim: int) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """All axis permutations x sign flips of a *dim*-dimensional frame.
+
+    The hyperoctahedral group: 8 transforms in 2-D (the dihedral symmetries
+    of the square), 48 in 3-D.
+    """
+    require(1 <= dim <= 3, "orientation canonicalization supports dim 1..3")
+    return [
+        (perm, signs)
+        for perm in itertools.permutations(range(dim))
+        for signs in itertools.product((1, -1), repeat=dim)
+    ]
+
+
+def canonical_signature(
+    coords: np.ndarray,
+    features: np.ndarray | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> str:
+    """Orientation- and translation-invariant digest of labelled geometry.
+
+    Minimizes the canonical lattice over every axis permutation and flip,
+    sorting points lexicographically in each candidate orientation, and
+    hashes the smallest byte string.  *features* — per-point integer labels
+    such as the gluing multiplicity of each DOF — ride along in the sorted
+    rows, so two subdomains share a signature exactly when some rigid
+    lattice symmetry maps one labelled point set onto the other.
+
+    This is the coarse pricing key of
+    :func:`repro.feti.planner.plan_population`: the four corner subdomains
+    of a structured grid are mirror images with isomorphic patterns, and
+    isomorphic patterns cost the same.
+    """
+    frame = canonical_frame(coords, tolerance)
+    lat = frame.lattice
+    n, d = lat.shape
+    if features is None:
+        feats = np.empty((n, 0), dtype=np.int64)
+    else:
+        feats = np.asarray(features, dtype=np.int64)
+        if feats.ndim == 1:
+            feats = feats[:, None]
+        require(feats.shape[0] == n, "features must have one row per point")
+    best: bytes | None = None
+    for perm, signs in orientation_transforms(max(d, 1)) if d else [((), ())]:
+        pts = lat[:, perm] * np.asarray(signs, dtype=np.int64)
+        if n:
+            pts = pts - pts.min(axis=0)
+        rows = np.concatenate([pts, feats], axis=1)
+        order = np.lexsort(rows.T[::-1]) if rows.size else np.arange(n)
+        cand = np.ascontiguousarray(rows[order]).tobytes()
+        if best is None or cand < best:
+            best = cand
+    h = hashlib.sha256()
+    h.update(np.asarray([n, d, feats.shape[1]], dtype=np.int64).tobytes())
+    h.update(b"|")
+    h.update(best if best is not None else b"")
+    return h.hexdigest()
+
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "CanonicalFrame",
+    "canonical_frame",
+    "canonical_coords",
+    "frame_digest",
+    "orientation_transforms",
+    "canonical_signature",
+]

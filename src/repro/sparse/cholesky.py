@@ -18,6 +18,7 @@ CHOLMOD ("only Cholmod allows extraction of factors", §5).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -101,6 +102,7 @@ def cholesky(
     perm: np.ndarray | None = None,
     coords: np.ndarray | None = None,
     engine: str = "superlu",
+    conform: bool = False,
 ) -> CholeskyFactor:
     """Factorize the SPD matrix *a* as ``a[perm][:, perm] = L L^T``.
 
@@ -118,6 +120,16 @@ def cholesky(
         Node coordinates forwarded to geometric nested dissection.
     engine:
         ``"superlu"`` (fast, default) or ``"native"`` (reference).
+    conform:
+        Pad the stored factor to the full *symbolic* fill pattern (explicit
+        zeros included).  SuperLU drops factor entries whose numerical value
+        is exactly zero, so the stored pattern of ``L`` depends on values:
+        translate-identical subdomains whose stiffness entries are ``0.0``
+        versus ``~1e-17`` store *different* patterns and split the
+        :mod:`repro.batch` pattern cache.  Conforming makes the stored
+        pattern a pure function of ``pattern(A)`` and ``perm`` — the
+        canonical factor structure CHOLMOD's supernodal storage provides
+        for free.  The native engine is already symbolic-patterned.
     """
     n = check_sparse_square(a, "a")
     require(engine in ENGINES, f"unknown engine {engine!r}")
@@ -131,9 +143,79 @@ def cholesky(
         l = _native_cholesky(ap)
     else:
         l = _superlu_cholesky(ap)
+        if conform:
+            l = conform_to_symbolic(l, ap)
 
     counts = np.diff(l.indptr)
     return CholeskyFactor(l=l, perm=perm, flops=cholesky_flops(counts), engine=engine)
+
+
+#: Bounded memo of symbolic fill patterns keyed by the input pattern digest.
+#: A structured decomposition factorizes many translate-identical K_reg
+#: patterns with conform=True; without the memo each member would repeat the
+#: (Python, O(nnz(L))) symbolic analysis that canonicalization exists to
+#: amortize.  Entries are (indptr, indices) pairs of the pattern's CSC form.
+_SYMBOLIC_PATTERN_CACHE: "OrderedDict[str, tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+_SYMBOLIC_PATTERN_CACHE_MAX = 64
+
+
+def _symbolic_pattern(ap: sp.csc_matrix) -> tuple[np.ndarray, np.ndarray]:
+    """CSC ``(indptr, indices)`` of the symbolic fill pattern of *ap*, memoized."""
+    from repro.sparse.symbolic import (
+        factor_pattern_csc,
+        pattern_digest,
+        symbolic_factorize,
+    )
+
+    key = pattern_digest(ap)
+    hit = _SYMBOLIC_PATTERN_CACHE.get(key)
+    if hit is not None:
+        _SYMBOLIC_PATTERN_CACHE.move_to_end(key)
+        return hit
+    patt = factor_pattern_csc(symbolic_factorize(ap)).tocsc()
+    patt.sort_indices()
+    entry = (patt.indptr.copy(), patt.indices.copy())
+    _SYMBOLIC_PATTERN_CACHE[key] = entry
+    while len(_SYMBOLIC_PATTERN_CACHE) > _SYMBOLIC_PATTERN_CACHE_MAX:
+        _SYMBOLIC_PATTERN_CACHE.popitem(last=False)
+    return entry
+
+
+def conform_to_symbolic(l: sp.csc_matrix, ap: sp.csc_matrix) -> sp.csc_matrix:
+    """Scatter the stored factor *l* into the symbolic fill pattern of *ap*.
+
+    Returns a CSC factor whose structure is exactly the symbolic Cholesky
+    pattern of ``ap`` (value-independent); positions the numeric engine
+    dropped as exact zeros are stored explicitly as ``0.0``.  The stored
+    pattern must be a subset of the symbolic pattern — guaranteed for an
+    SPD matrix factorized without pivoting.  The symbolic pattern is
+    memoized by input-pattern digest, so a population of pattern-identical
+    subdomains pays the symbolic analysis once.
+    """
+    n = l.shape[0]
+    if n == 0:
+        return l
+    patt_indptr, patt_indices = _symbolic_pattern(ap)
+    if patt_indices.size == l.nnz:
+        return l  # no numerical drops: already the symbolic pattern
+    data = np.zeros(patt_indices.size, dtype=np.float64)
+    for j in range(n):
+        l0, l1 = l.indptr[j], l.indptr[j + 1]
+        stored = l.indices[l0:l1]
+        if stored.size == 0:
+            continue
+        sym = patt_indices[patt_indptr[j] : patt_indptr[j + 1]]
+        pos = np.searchsorted(sym, stored)
+        require(
+            bool(np.all(pos < sym.size)) and bool(np.array_equal(sym[pos], stored)),
+            "stored factor pattern is not a subset of the symbolic pattern",
+        )
+        data[patt_indptr[j] + pos] = l.data[l0:l1]
+    out = sp.csc_matrix(
+        (data, patt_indices.copy(), patt_indptr.copy()), shape=(n, n)
+    )
+    out.sort_indices()
+    return out
 
 
 def _superlu_cholesky(ap: sp.csc_matrix) -> sp.csc_matrix:
@@ -228,4 +310,10 @@ def _native_cholesky(ap: sp.csc_matrix) -> sp.csc_matrix:
     return l
 
 
-__all__ = ["cholesky", "CholeskyFactor", "NotPositiveDefiniteError", "ENGINES"]
+__all__ = [
+    "cholesky",
+    "CholeskyFactor",
+    "NotPositiveDefiniteError",
+    "ENGINES",
+    "conform_to_symbolic",
+]

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse.canonical import DEFAULT_TOLERANCE, canonical_coords
 from repro.sparse.ordering.amd import amd_ordering
 from repro.util import check_sparse_square, require
 
@@ -29,6 +30,8 @@ def nd_ordering(
     coords: np.ndarray | None = None,
     leaf_size: int = 100,
     leaf_method: str = "amd",
+    canonicalize: bool = True,
+    tolerance: float = DEFAULT_TOLERANCE,
 ) -> np.ndarray:
     """Return a nested-dissection permutation of symmetric *a*.
 
@@ -42,6 +45,16 @@ def nd_ordering(
         Subgraphs at or below this size are ordered directly.
     leaf_method:
         ``"amd"`` (default) or ``"natural"`` ordering for the leaves.
+    canonicalize:
+        Map *coords* to the canonical local frame before bisecting
+        (default).  Geometric bisection picks the widest axis with
+        ``argmax`` over extents — on square subdomains the extents tie
+        exactly in exact arithmetic, so the last-ulp jitter of absolute
+        coordinates decides the axis differently per grid position.  In the
+        canonical frame translate-identical inputs are bit-identical and
+        produce the same permutation (see :mod:`repro.sparse.canonical`).
+    tolerance:
+        Relative quantization tolerance of the canonical frame.
     """
     n = check_sparse_square(a, "a")
     require(leaf_size >= 1, "leaf_size must be >= 1")
@@ -52,6 +65,8 @@ def nd_ordering(
             coords.ndim == 2 and coords.shape[0] == n,
             f"coords must have shape (n, d) with n={n}, got {coords.shape}",
         )
+        if canonicalize:
+            coords = canonical_coords(coords, tolerance)
     if n == 0:
         return np.arange(0, dtype=np.intp)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse.canonical import DEFAULT_TOLERANCE, canonical_coords
 from repro.util import check_sparse_square, require
 
 
@@ -21,6 +22,8 @@ def choose_fixing_dofs(
     k: sp.spmatrix,
     kernel_dim: int,
     coords: np.ndarray | None = None,
+    canonicalize: bool = True,
+    tolerance: float = DEFAULT_TOLERANCE,
 ) -> np.ndarray:
     """Choose *kernel_dim* fixing DOFs for the SPSD matrix *k*.
 
@@ -29,6 +32,13 @@ def choose_fixing_dofs(
     the first is the DOF closest to the domain barycentre; subsequent ones
     maximise the minimum distance to those already chosen (farthest-point
     sampling).  Without coordinates the largest-diagonal DOFs are used.
+
+    With *canonicalize* (the default) the coordinates are mapped to their
+    canonical local frame first (:func:`repro.sparse.canonical.canonical_coords`),
+    so the choice depends only on subdomain-relative geometry: translate-
+    identical subdomains pick the same fixing DOFs even when absolute
+    coordinates carry float jitter that would break argmin/argmax ties
+    differently per grid position.
     """
     n = check_sparse_square(k, "k")
     require(0 <= kernel_dim <= n, "kernel_dim out of range")
@@ -39,6 +49,8 @@ def choose_fixing_dofs(
         return np.argsort(diag)[::-1][:kernel_dim].astype(np.intp)
     coords = np.asarray(coords, dtype=np.float64)
     require(coords.shape[0] == n, "coords must have one row per DOF")
+    if canonicalize:
+        coords = canonical_coords(coords, tolerance)
     centre = coords.mean(axis=0)
     first = int(np.argmin(np.linalg.norm(coords - centre, axis=1)))
     chosen = [first]
@@ -52,7 +64,11 @@ def choose_fixing_dofs(
 
 
 def choose_fixing_nodes(
-    coords: np.ndarray, n_nodes: int, dofs_per_node: int
+    coords: np.ndarray,
+    n_nodes: int,
+    dofs_per_node: int,
+    canonicalize: bool = True,
+    tolerance: float = DEFAULT_TOLERANCE,
 ) -> np.ndarray:
     """Choose fixing *nodes* for vector-valued (e.g. elasticity) problems.
 
@@ -60,12 +76,16 @@ def choose_fixing_nodes(
     x-components leave the y-translation free); the standard choice [11]
     fixes *all* components of a few well-spread nodes.  Returns the DOF
     indices (interleaved numbering: ``node * dofs_per_node + component``)
-    of ``n_nodes`` farthest-point-sampled nodes.
+    of ``n_nodes`` farthest-point-sampled nodes.  *canonicalize* maps the
+    coordinates to the canonical local frame first, making the choice
+    translation-invariant (see :func:`choose_fixing_dofs`).
     """
     coords = np.asarray(coords, dtype=np.float64)
     require(coords.ndim == 2, "coords must be (n_nodes, dim)")
     require(1 <= n_nodes <= coords.shape[0], "n_nodes out of range")
     require(dofs_per_node >= 1, "dofs_per_node must be >= 1")
+    if canonicalize:
+        coords = canonical_coords(coords, tolerance)
     centre = coords.mean(axis=0)
     first = int(np.argmin(np.linalg.norm(coords - centre, axis=1)))
     chosen = [first]
@@ -110,6 +130,16 @@ def regularize(
     of the regularized matrix comparable to the original.
     The regularization changes ``K^+`` only on the kernel — FETI projects
     that component out through the coarse problem, so the solver is exact.
+
+    The sum is built by COO concatenation rather than sparse ``+``: SciPy's
+    sparse addition drops entries whose *numerical* result is exactly zero,
+    so the output pattern would depend on values, not structure.  Structured
+    triangulations assemble stiffness entries that are exactly ``0.0`` in
+    one subdomain and ``~1e-17`` in its translate, and a value-pruned
+    ``K_reg`` pattern splits translate-identical subdomains apart in the
+    :mod:`repro.batch` fingerprint cache.  The stored pattern of the result
+    is always the union of the input pattern and the fixing diagonal,
+    explicit zeros included.
     """
     n = check_sparse_square(k, "k")
     fixing_dofs = np.asarray(fixing_dofs, dtype=np.intp)
@@ -122,10 +152,14 @@ def regularize(
     if rho is None:
         rho = float(k.diagonal().mean())
     require(rho > 0, "rho must be positive")
-    bump = sp.coo_matrix(
-        (np.full(fixing_dofs.size, rho), (fixing_dofs, fixing_dofs)), shape=(n, n)
-    )
-    return (k.tocsr() + bump.tocsr()).tocsr()
+    kc = k.tocoo()
+    rows = np.concatenate([kc.row, fixing_dofs])
+    cols = np.concatenate([kc.col, fixing_dofs])
+    data = np.concatenate([kc.data, np.full(fixing_dofs.size, rho)])
+    out = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    out.sum_duplicates()
+    out.sort_indices()
+    return out
 
 
 __all__ = [

@@ -23,7 +23,25 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.sparse.etree import elimination_tree, row_pattern
-from repro.util import cholesky_flops, check_sparse_square
+from repro.util import cholesky_flops, check_sparse_square, require
+
+
+def pattern_digest(a: sp.spmatrix) -> str:
+    """Hex digest of a sparsity pattern (shape + sorted CSC structure).
+
+    The one canonical pattern-hashing routine — reused by the batch
+    fingerprints (:mod:`repro.batch.fingerprint`) and the symbolic-pattern
+    memo of :mod:`repro.sparse.cholesky` so the implementations cannot
+    drift apart.
+    """
+    require(sp.issparse(a), "pattern_digest needs a sparse matrix")
+    ac = a.tocsc()
+    ac.sort_indices()
+    h = hashlib.sha256()
+    for arr in (np.asarray(ac.shape), ac.indptr, ac.indices):
+        h.update(np.ascontiguousarray(np.asarray(arr, dtype=np.int64)).tobytes())
+        h.update(b"|")
+    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -221,4 +239,5 @@ __all__ = [
     "symbolic_factorize",
     "symbolic_from_factor",
     "factor_pattern_csc",
+    "pattern_digest",
 ]

@@ -154,9 +154,17 @@ def spsolve_lower_sparse(
     computes the reach (the nonzero pattern of the solution column in
     topological order), then the numeric phase only touches those entries.
 
-    Returns ``(Y, flops)`` with *Y* sparse CSC and *flops* the exact count of
-    floating-point operations performed — the quantity the simulated cost
-    model charges for PARDISO-style sparse Schur assembly.
+    Returns ``(Y, flops)`` with *Y* sparse CSC and *flops* the operation
+    count of the numeric phase — the quantity the simulated cost model
+    charges for PARDISO-style sparse Schur assembly.
+
+    The numeric phase processes the *structural* reach: entries whose value
+    happens to be exactly zero are kept (and their work counted) rather than
+    value-pruned.  This keeps the pattern of ``Y`` and the reported flops a
+    pure function of the patterns of ``L`` and ``B`` — so the executed cost
+    agrees with the pattern-only estimator of
+    :mod:`repro.sparse.schur_estimate` and stays identical across a
+    fingerprint group of :mod:`repro.batch` regardless of value jitter.
     """
     n = check_sparse_square(l, "L")
     lc = l.tocsc()
@@ -187,15 +195,13 @@ def spsolve_lower_sparse(
         keep_rows = []
         keep_vals = []
         for j in topo:
-            xj = x[j]
-            if xj != 0.0:
-                xj /= data[indptr[j]]
-                rows = indices[indptr[j] + 1 : indptr[j + 1]]
-                if rows.size:
-                    x[rows] -= data[indptr[j] + 1 : indptr[j + 1]] * xj
-                flops += 2.0 * rows.size + 1.0
-                keep_rows.append(j)
-                keep_vals.append(xj)
+            xj = x[j] / data[indptr[j]]
+            rows = indices[indptr[j] + 1 : indptr[j + 1]]
+            if rows.size:
+                x[rows] -= data[indptr[j] + 1 : indptr[j + 1]] * xj
+            flops += 2.0 * rows.size + 1.0
+            keep_rows.append(j)
+            keep_vals.append(xj)
             x[j] = 0.0  # reset workspace while we are here
             visited[j] = False
         # x entries of rows updated but outside topo cannot exist: every

@@ -11,6 +11,8 @@ from repro.batch import (
     BatchItem,
     PatternCache,
     factor_fingerprint,
+    geometric_fingerprint,
+    items_from_decomposition,
     pattern_digest,
     subdomain_fingerprint,
     symbolic_analysis_cost,
@@ -396,3 +398,84 @@ def test_plan_population_distinct_patterns():
     members = [_random_item(18 + i, 4, seed=10 + i) for i in range(3)]
     pop = plan_population(members, dim=2, expected_iterations=10)
     assert pop.n_groups == 3
+
+
+# ---------------------------------------------------------------------------
+# canonical grouping on a real structured decomposition
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def floating_3x3():
+    from repro.dd import decompose
+    from repro.fem import heat_transfer_2d
+
+    problem = heat_transfer_2d(12, dirichlet=())
+    decomposition = decompose(problem, grid=(3, 3))
+    return decomposition, items_from_decomposition(decomposition)
+
+
+def test_subdomain_fingerprint_geometry_aware(workload_2d):
+    factor, bt = workload_2d
+    k = random_spd(factor.n, 0.1, 3)
+    coords = np.random.default_rng(1).random((factor.n, 2))
+    plain = subdomain_fingerprint(k, bt)
+    geo = subdomain_fingerprint(k, bt, coords=coords)
+    assert plain.key != geo.key  # frame digest is part of the key
+    assert subdomain_fingerprint(k, bt, coords=coords + 3.5).key == geo.key
+    with pytest.raises(ValueError, match="one row per DOF"):
+        subdomain_fingerprint(k, bt, coords=coords[:-1])
+
+
+def test_batch_engine_groups_structured_grid(floating_3x3):
+    """A floating 3x3 decomposition has 9 subdomains in 9 translate-classes
+    collapsed to 3 geometric classes (corner/edge/interior); the canonical
+    frame makes each class's members share the exact pattern cache entry."""
+    decomposition, items = floating_3x3
+    engine = BatchAssembler(config=default_config("gpu", 2))
+    batch = engine.assemble_batch(items)
+    assert batch.stats.n_subdomains == 9
+    # On a 3x3 grid no two subdomains are translates, so the exact groups
+    # stay apart while the geometric classes merge the mirror images.
+    assert batch.stats.n_geometric_groups == 3
+    assert set().union(*batch.geometric_groups.values()) == set(range(9))
+    # Results identical to the per-subdomain path.
+    ref = SchurAssembler(config=default_config("gpu", 2))
+    for it, res in zip(items, batch.results):
+        assert np.array_equal(res.f, ref.assemble(it.factor, it.bt).f)
+
+
+def test_batch_items_without_coords_skip_geometric_groups(workload_2d):
+    factor, bt = workload_2d
+    engine = BatchAssembler(config=default_config("gpu", 2))
+    batch = engine.plan_batch([BatchItem(factor, bt), BatchItem(factor, bt)])
+    assert batch.stats.n_geometric_groups == 0
+    assert batch.geometric_groups == {}
+
+
+def test_plan_population_geometric_grouping(floating_3x3):
+    _, items = floating_3x3
+    members = [(it.factor, it.bt) for it in items]
+    coords = [it.coords for it in items]
+    exact = plan_population(members, dim=2, expected_iterations=30)
+    geo = plan_population(members, dim=2, expected_iterations=30, coords=coords)
+    assert geo.n_groups == 3
+    assert geo.n_groups <= exact.n_groups
+    # Same approach decisions either way: pricing is isomorphism-invariant.
+    assert [geo.chosen_for(i) for i in range(9)] == [
+        exact.chosen_for(i) for i in range(9)
+    ]
+    with pytest.raises(ValueError, match="one coordinate array per member"):
+        plan_population(members, dim=2, expected_iterations=30, coords=coords[:-1])
+
+
+def test_geometric_fingerprint_not_an_exact_key(floating_3x3):
+    """Members of one geometric class may have different exact patterns —
+    the geometric key prices, the factor key caches."""
+    decomposition, items = floating_3x3
+    by_geo: dict[str, list[int]] = {}
+    for i, it in enumerate(items):
+        by_geo.setdefault(geometric_fingerprint(it.coords, it.bt).key, []).append(i)
+    corner_class = next(v for v in by_geo.values() if len(v) == 4)
+    exact = {factor_fingerprint(items[i].factor, items[i].bt).key for i in corner_class}
+    assert len(exact) > 1
