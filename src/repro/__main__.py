@@ -11,7 +11,9 @@ Commands
 ``batch [--dim {2,3}] [--cells N] [--grid PxP..] [--device {gpu,cpu}]``
     Batch-assemble all subdomains of a decomposition through the symbolic
     pattern cache (``repro.batch``) and report cache/throughput statistics
-    plus the multi-stream pipeline makespan.
+    plus the multi-stream pipeline makespan.  ``--execution`` selects the
+    numeric path (per-member kernels vs batched whole-group kernels);
+    ``--workers`` fans independent groups across host threads.
 """
 
 from __future__ import annotations
@@ -92,7 +94,12 @@ def _cmd_batch(args) -> int:
         engine = BatchAssembler(config=config, cache=cache)
     else:
         engine = BatchAssembler.for_cpu(config=config, cache=cache)
-    batch = engine.assemble_batch(items, execute=not args.estimate_only)
+    batch = engine.assemble_batch(
+        items,
+        execute=not args.estimate_only,
+        execution=args.execution,
+        n_workers=None if args.workers == 0 else args.workers,
+    )
     print(batch.stats.summary())
     pipe = engine.schedule(
         batch.work, mode=args.mode, n_threads=args.threads, n_streams=args.streams
@@ -140,6 +147,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_batch.add_argument(
         "--estimate-only", action="store_true", help="price the batch without numerics"
+    )
+    p_batch.add_argument(
+        "--execution",
+        default="auto",
+        choices=("per-member", "grouped", "auto"),
+        help="numeric execution: per-item kernels, batched whole-group "
+        "kernels, or grouped-from-a-size-threshold (default: auto)",
+    )
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="host threads for parallel grouped execution (0 = all cores)",
     )
     p_batch.add_argument(
         "--floating",

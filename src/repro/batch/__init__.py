@@ -11,6 +11,9 @@ into the multi-stream scheduler of :mod:`repro.runtime`.
 
 from repro.batch.cache import CacheStats, PatternCache, SymbolicArtifacts
 from repro.batch.engine import (
+    EXECUTION_MODES,
+    GROUPED_AUTO_MAX_SPARSE_ORDER,
+    GROUPED_AUTO_THRESHOLD,
     BatchAssembler,
     BatchItem,
     BatchResult,
@@ -32,6 +35,9 @@ __all__ = [
     "BatchItem",
     "BatchResult",
     "BatchStats",
+    "EXECUTION_MODES",
+    "GROUPED_AUTO_THRESHOLD",
+    "GROUPED_AUTO_MAX_SPARSE_ORDER",
     "PatternCache",
     "CacheStats",
     "SymbolicArtifacts",

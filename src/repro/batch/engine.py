@@ -18,11 +18,29 @@ and then:
 The simulated win is the host-side symbolic analysis: charged once per
 distinct pattern instead of once per subdomain (CHOLMOD-style supernodal
 reuse, "performed once, reused across repeated numeric factorizations").
+
+Numeric execution comes in three modes (``execution=``):
+
+* ``"per-member"`` (default) — one :meth:`SchurAssembler.assemble` per item,
+  bit-identical to independent assembly.
+* ``"grouped"`` — every fingerprint group runs end-to-end through
+  :meth:`SchurAssembler.assemble_group`: stacked RHS, batched TRSM/SYRK, one
+  kernel launch per step for the whole group.  Identical FLOPs/traffic,
+  launches shrink by the group size, results allclose at tight tolerance.
+  Independent groups additionally fan out across a ``ThreadPoolExecutor``
+  (*n_workers*; NumPy/SciPy release the GIL in BLAS).
+* ``"auto"`` — grouped for groups of at least
+  :data:`GROUPED_AUTO_THRESHOLD` members (where the stacking overhead is
+  clearly amortized), per-member otherwise.  With sparse factor storage,
+  large-order groups (above :data:`GROUPED_AUTO_MAX_SPARSE_ORDER`) also
+  stay per-member: stacked kernels are dense, and a big sparse factor's
+  SuperLU solves do far less host arithmetic.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,9 +57,25 @@ from repro.gpu.costmodel import KernelCost, csx_bytes
 from repro.gpu.runtime import Executor
 from repro.gpu.spec import A100_40GB, EPYC_7763_CORE, PCIE4_X16, DeviceSpec, TransferSpec
 from repro.runtime.pipeline import PipelineResult, SubdomainWork, run_preprocessing_pipeline
+from repro.runtime.scheduler import host_worker_count
 from repro.sparse.cholesky import CholeskyFactor
 from repro.sparse.symbolic import symbolic_from_factor
 from repro.util import require
+
+
+#: Numeric-execution modes of :meth:`BatchAssembler.assemble_batch`.
+EXECUTION_MODES = ("per-member", "grouped", "auto")
+
+#: Minimum group size at which ``execution="auto"`` picks the batched path.
+GROUPED_AUTO_THRESHOLD = 4
+
+#: With *sparse* factor storage, ``"auto"`` batches only groups whose factor
+#: order stays at or below this: the stacked kernels work on dense blocks, so
+#: for large sparse factors the per-member SuperLU path does asymptotically
+#: less host arithmetic (O(nnz·m) vs O(n²·m)) and wins the wall clock.  With
+#: dense storage the per-member path densifies anyway and grouped is
+#: strictly better, so no order cap applies.
+GROUPED_AUTO_MAX_SPARSE_ORDER = 256
 
 
 @dataclass(frozen=True)
@@ -230,6 +264,8 @@ class BatchAssembler:
         items: list[BatchItem | tuple],
         execute: bool = True,
         executor: Executor | None = None,
+        execution: str = "per-member",
+        n_workers: int | None = 1,
     ) -> BatchResult:
         """Analyze, price and (optionally) execute a batch of subdomains.
 
@@ -242,17 +278,49 @@ class BatchAssembler:
             ``False`` only the symbolic analysis and pricing happen (the
             population-scale planning mode); ``results`` is all ``None``.
         executor:
-            Optional shared executor for the executed numerics.
+            Optional shared executor for the executed numerics; group
+            executors of a grouped run are folded into it.
+        execution:
+            ``"per-member"`` (default, bit-identical per-item assembly),
+            ``"grouped"`` (batched whole-group kernels; allclose to
+            per-member at tight tolerance, one launch per kernel step per
+            group), or ``"auto"`` (grouped from
+            :data:`GROUPED_AUTO_THRESHOLD` members per group, capped at
+            :data:`GROUPED_AUTO_MAX_SPARSE_ORDER` for sparse storage).
+        n_workers:
+            Host threads for fanning independent grouped groups out in
+            parallel: ``1`` (default) is serial, ``None`` takes every host
+            core; resolved by :func:`repro.runtime.scheduler.host_worker_count`.
+            Per-member execution is always serial.
         """
+        require(execution in EXECUTION_MODES, f"unknown execution mode {execution!r}")
         t0 = time.perf_counter()
         norm = [it if isinstance(it, BatchItem) else BatchItem(*it) for it in items]
         before = self.cache.stats.snapshot()
 
-        results: list[SchurAssemblyResult | None] = []
+        results: list[SchurAssemblyResult | None] = [None] * len(norm)
+        n_grouped = 0
+        launches = 0
+        execute_seconds = 0.0
+        group_execute_seconds: dict[str, float] = {}
+        group_launches: dict[str, int] = {}
+        ex: Executor | None = None
+        base_launches = 0
+        if execute:
+            ex = executor if executor is not None else Executor(self.assembler.spec)
+            base_launches = ex.ledger.total.launches
+        # Pure per-member execution streams inside the analysis loop — each
+        # permuted bt copy is dropped right after its assemble call, the
+        # pre-grouped peak-memory footprint.  Grouped/auto retain the copies
+        # until their fingerprint group is fully known and stacked.
+        stream = execute and execution == "per-member"
+
+        # --- analysis phase: fingerprint, cache, price ----------------------
         work: list[SubdomainWork] = []
         groups: dict[str, list[int]] = {}
         geometric_groups: dict[str, list[int]] = {}
         artifacts: dict[str, SymbolicArtifacts] = {}
+        bt_rows_all: list[sp.csc_matrix | None] = []
         analysis = 0.0
         saved = 0.0
         for idx, item in enumerate(norm):
@@ -260,6 +328,9 @@ class BatchAssembler:
             # One row permutation per item, shared by the fingerprint, the
             # artifact build (on a miss) and the executed numerics.
             bt_rows = item.bt.tocsr()[item.factor.perm].tocsc()
+            # Retain the copy only when the deferred execution phase will
+            # consume it (grouped/auto); streamed and plan-only runs drop it.
+            bt_rows_all.append(bt_rows if execute and not stream else None)
             art, hit = self.analyze(item.factor, item.bt, bt_rows=bt_rows)
             key = art.fingerprint.key
             groups.setdefault(key, []).append(idx)
@@ -279,18 +350,100 @@ class BatchAssembler:
                     persistent_bytes=art.memory.persistent,
                 )
             )
-            if execute:
-                results.append(
-                    self.assembler.assemble(
-                        item.factor,
-                        item.bt,
-                        executor=executor,
-                        prepared=art.prepared,
-                        bt_rows=bt_rows,
-                    )
+            if stream:
+                l0 = ex.ledger.total.launches
+                w0 = time.perf_counter()
+                results[idx] = self.assembler.assemble(
+                    item.factor,
+                    item.bt,
+                    executor=ex,
+                    prepared=art.prepared,
+                    bt_rows=bt_rows,
                 )
+                dt = time.perf_counter() - w0
+                execute_seconds += dt
+                group_launches[key] = (
+                    group_launches.get(key, 0) + ex.ledger.total.launches - l0
+                )
+                group_execute_seconds[key] = group_execute_seconds.get(key, 0.0) + dt
+
+        # --- execution phase (grouped / auto) -------------------------------
+        if execute and norm and not stream:
+            exec_t0 = time.perf_counter()
+
+            def auto_picks_grouped(key: str) -> bool:
+                if len(groups[key]) < GROUPED_AUTO_THRESHOLD:
+                    return False
+                return (
+                    self.config.factor_storage == "dense"
+                    or artifacts[key].fingerprint.n <= GROUPED_AUTO_MAX_SPARSE_ORDER
+                )
+
+            grouped_keys = [
+                key
+                for key in groups
+                if execution == "grouped" or auto_picks_grouped(key)
+            ]
+            grouped_set = set(grouped_keys)
+            # Per-member members first (serial; bit-identical path).
+            for key, members in groups.items():
+                if key in grouped_set:
+                    continue
+                for idx in members:
+                    l0 = ex.ledger.total.launches
+                    w0 = time.perf_counter()
+                    results[idx] = self.assembler.assemble(
+                        norm[idx].factor,
+                        norm[idx].bt,
+                        executor=ex,
+                        prepared=artifacts[key].prepared,
+                        bt_rows=bt_rows_all[idx],
+                    )
+                    bt_rows_all[idx] = None
+                    group_launches[key] = (
+                        group_launches.get(key, 0) + ex.ledger.total.launches - l0
+                    )
+                    group_execute_seconds[key] = (
+                        group_execute_seconds.get(key, 0.0) + time.perf_counter() - w0
+                    )
+
+            # Grouped groups: whole-group batched kernels, one executor per
+            # group so independent groups can run on parallel host threads.
+            def run_group(key: str):
+                members = groups[key]
+                gex = Executor(self.assembler.spec)
+                w0 = time.perf_counter()
+                res = self.assembler.assemble_group(
+                    [norm[i].factor for i in members],
+                    [norm[i].bt for i in members],
+                    executor=gex,
+                    prepared=artifacts[key].prepared,
+                    bt_rows=[bt_rows_all[i] for i in members],
+                )
+                for i in members:
+                    bt_rows_all[i] = None  # stacked: copy no longer needed
+                return key, res, gex, time.perf_counter() - w0
+
+            workers = host_worker_count(n_workers, n_tasks=len(grouped_keys))
+            if workers > 1 and len(grouped_keys) > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(run_group, grouped_keys))
             else:
-                results.append(None)
+                outcomes = [run_group(key) for key in grouped_keys]
+            for key, res, gex, wall in outcomes:
+                for idx, r in zip(groups[key], res):
+                    results[idx] = r
+                ex.ledger.absorb(gex.ledger)
+                group_launches[key] = (
+                    group_launches.get(key, 0) + gex.ledger.total.launches
+                )
+                group_execute_seconds[key] = (
+                    group_execute_seconds.get(key, 0.0) + wall
+                )
+                n_grouped += len(groups[key])
+            execute_seconds += time.perf_counter() - exec_t0
+        if execute and norm:
+            launches = ex.ledger.total.launches - base_launches
 
         after = self.cache.stats
         stats = BatchStats(
@@ -305,6 +458,12 @@ class BatchAssembler:
             factorization_seconds=sum(w.factorization for w in work),
             assembly_seconds=sum(w.assembly for w in work),
             wall_seconds=time.perf_counter() - t0,
+            execution=execution,
+            n_grouped=n_grouped,
+            kernel_launches=launches,
+            execute_seconds=execute_seconds,
+            group_execute_seconds=group_execute_seconds,
+            group_launches=group_launches,
         )
         return BatchResult(
             results=results,
@@ -370,6 +529,9 @@ __all__ = [
     "BatchItem",
     "BatchResult",
     "BatchAssembler",
+    "EXECUTION_MODES",
+    "GROUPED_AUTO_THRESHOLD",
+    "GROUPED_AUTO_MAX_SPARSE_ORDER",
     "build_artifacts",
     "items_from_decomposition",
     "symbolic_analysis_cost",

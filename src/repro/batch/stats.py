@@ -10,7 +10,7 @@ lets long-running services aggregate across many batches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass
@@ -21,6 +21,15 @@ class BatchStats:
     actually charged (once per fingerprint group); ``analysis_seconds_saved``
     is what the cache hits avoided — the no-cache baseline would have
     charged ``analysis_seconds + analysis_seconds_saved``.
+
+    The execution counters describe the *numeric* phase:
+    ``execution`` is the requested mode (``"per-member"``/``"grouped"``/
+    ``"auto"``), ``n_grouped`` how many members actually ran through the
+    batched group path, ``kernel_launches`` the total kernel launches the
+    execution charged, and ``group_execute_seconds``/``group_launches`` the
+    host wall clock and launch count per fingerprint group (keyed like
+    :attr:`~repro.batch.engine.BatchResult.groups`) — the numbers behind the
+    grouped-vs-per-member speedup benchmark.
     """
 
     n_subdomains: int = 0
@@ -34,6 +43,12 @@ class BatchStats:
     factorization_seconds: float = 0.0
     assembly_seconds: float = 0.0
     wall_seconds: float = 0.0
+    execution: str = "per-member"
+    n_grouped: int = 0
+    kernel_launches: int = 0
+    execute_seconds: float = 0.0
+    group_execute_seconds: dict[str, float] = field(default_factory=dict)
+    group_launches: dict[str, int] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -58,6 +73,13 @@ class BatchStats:
 
     def merge(self, other: "BatchStats") -> "BatchStats":
         """Combine two batches' statistics (counters and times add)."""
+
+        def merge_dicts(a: dict, b: dict) -> dict:
+            out = dict(a)
+            for k, v in b.items():
+                out[k] = out.get(k, 0) + v
+            return out
+
         return BatchStats(
             n_subdomains=self.n_subdomains + other.n_subdomains,
             n_groups=self.n_groups + other.n_groups,
@@ -70,6 +92,14 @@ class BatchStats:
             factorization_seconds=self.factorization_seconds + other.factorization_seconds,
             assembly_seconds=self.assembly_seconds + other.assembly_seconds,
             wall_seconds=self.wall_seconds + other.wall_seconds,
+            execution=self.execution if self.execution == other.execution else "mixed",
+            n_grouped=self.n_grouped + other.n_grouped,
+            kernel_launches=self.kernel_launches + other.kernel_launches,
+            execute_seconds=self.execute_seconds + other.execute_seconds,
+            group_execute_seconds=merge_dicts(
+                self.group_execute_seconds, other.group_execute_seconds
+            ),
+            group_launches=merge_dicts(self.group_launches, other.group_launches),
         )
 
     def summary(self) -> str:
@@ -90,6 +120,13 @@ class BatchStats:
             f"preprocessing:     {self.preprocessing_seconds * 1e3:.3f} ms (serial total)",
             f"throughput:        {self.throughput():.1f} subdomains/s (serial)",
         ]
+        if self.kernel_launches:
+            lines.append(
+                f"execution:         {self.execution} — {self.n_grouped}/"
+                f"{self.n_subdomains} member(s) batched, "
+                f"{self.kernel_launches} kernel launch(es), "
+                f"{self.execute_seconds * 1e3:.3f} ms host wall"
+            )
         return "\n".join(lines)
 
 

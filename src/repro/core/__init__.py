@@ -30,19 +30,33 @@ from repro.core.stepped import (
     row_trails,
     stepped_permutation,
 )
-from repro.core.syrk_split import syrk_input_split, syrk_orig, syrk_output_split
+from repro.core.syrk_split import (
+    batched_syrk_input_split,
+    batched_syrk_orig,
+    batched_syrk_output_split,
+    syrk_input_split,
+    syrk_orig,
+    syrk_output_split,
+)
 from repro.core.trsm_split import (
     FACTOR_STORAGES,
     PruningPlan,
+    batched_trsm_factor_split,
+    batched_trsm_orig,
+    batched_trsm_rhs_split,
     trsm_factor_split,
     trsm_orig,
     trsm_rhs_split,
 )
 from repro.core.tuning import (
+    CrossoverPoint,
     SweepPoint,
     best_point,
+    measure_dense_crossover,
+    pick_dense_cutoff,
     sweep_block_parameter,
     tune_block_parameter,
+    tune_dense_cutoff,
 )
 
 __all__ = [
@@ -71,12 +85,22 @@ __all__ = [
     "trsm_orig",
     "trsm_rhs_split",
     "trsm_factor_split",
+    "batched_trsm_orig",
+    "batched_trsm_rhs_split",
+    "batched_trsm_factor_split",
     "FACTOR_STORAGES",
     "syrk_orig",
     "syrk_input_split",
     "syrk_output_split",
+    "batched_syrk_orig",
+    "batched_syrk_input_split",
+    "batched_syrk_output_split",
     "SweepPoint",
     "sweep_block_parameter",
     "best_point",
     "tune_block_parameter",
+    "CrossoverPoint",
+    "measure_dense_crossover",
+    "pick_dense_cutoff",
+    "tune_dense_cutoff",
 ]

@@ -27,12 +27,28 @@ import scipy.sparse as sp
 
 from repro.core.config import AssemblyConfig, default_config
 from repro.core.stepped import SteppedShape, stepped_permutation
-from repro.core.syrk_split import syrk_input_split, syrk_orig, syrk_output_split
-from repro.core.trsm_split import PruningPlan, trsm_factor_split, trsm_orig, trsm_rhs_split
+from repro.core.syrk_split import (
+    batched_syrk_input_split,
+    batched_syrk_orig,
+    batched_syrk_output_split,
+    syrk_input_split,
+    syrk_orig,
+    syrk_output_split,
+)
+from repro.core.trsm_split import (
+    PruningPlan,
+    batched_trsm_factor_split,
+    batched_trsm_orig,
+    batched_trsm_rhs_split,
+    trsm_factor_split,
+    trsm_orig,
+    trsm_rhs_split,
+)
 from repro.gpu.costmodel import FLOAT64_BYTES, csx_bytes, dense_bytes
 from repro.gpu.runtime import Executor
 from repro.gpu.spec import A100_40GB, EPYC_7763_CORE, PCIE4_X16, DeviceSpec, TransferSpec
 from repro.sparse.cholesky import CholeskyFactor
+from repro.sparse.stacked import StackedCSC, stack_permuted_dense
 from repro.util import require
 
 
@@ -290,6 +306,136 @@ class SchurAssembler:
             col_perm=col_perm,
             y=x if keep_y else None,
         )
+
+    def assemble_group(
+        self,
+        factors: list[CholeskyFactor],
+        bts: list[sp.spmatrix],
+        executor: Executor | None = None,
+        keep_y: bool = False,
+        prepared: PreparedPattern | None = None,
+        bt_rows: list[sp.spmatrix] | None = None,
+    ) -> list[SchurAssemblyResult]:
+        """Assemble one whole fingerprint group through batched kernels.
+
+        All members must share the exact stored factor pattern and the exact
+        (row-permuted) gluing pattern — the guarantee an equal
+        :func:`~repro.batch.fingerprint.factor_fingerprint` gives; the
+        stacking validates it and raises otherwise.  The numerics are
+        stacked: one ``(group, n, m)`` RHS runs through batched TRSM/SYRK so
+        the group pays one kernel launch per step instead of one per member.
+        Results match :meth:`assemble` to tight floating-point tolerance
+        (BLAS association order differs inside the batched solves) and the
+        charged FLOPs/traffic are identical — only launches shrink.
+
+        Each returned member's ``breakdown``/``elapsed`` is the group total
+        divided by the group size (batched kernels are indivisible; an equal
+        share keeps per-member sums equal to the group cost).
+
+        Parameters mirror :meth:`assemble`; *bt_rows* accepts the
+        per-member ``bt.tocsr()[factor.perm]`` list the batch engine already
+        computed for the fingerprints.
+        """
+        g = len(factors)
+        require(g >= 1, "assemble_group needs at least one member")
+        require(len(bts) == g, "factors and bts must have the same length")
+        n = factors[0].n
+        require(all(f.n == n for f in factors), "group members must share the factor order")
+        for idx, bt in enumerate(bts):
+            require(sp.issparse(bt), f"member {idx}: bt must be sparse")
+            require(bt.shape == bts[0].shape, f"member {idx}: bt shape differs")
+        require(bts[0].shape[0] == n, f"bt has {bts[0].shape[0]} rows, factor order is {n}")
+        m = bts[0].shape[1]
+        cfg = self.config
+        ex = executor if executor is not None else Executor(self.spec)
+        breakdown = {"transfer": 0.0, "permute": 0.0, "trsm": 0.0, "syrk": 0.0}
+        mark = ex.elapsed
+
+        # --- stack the group (host side) ------------------------------------
+        if bt_rows is None:
+            bt_rows = [
+                bt.tocsr()[f.perm].tocsc() for f, bt in zip(factors, bts)
+            ]
+        else:
+            require(len(bt_rows) == g, "bt_rows must have one entry per member")
+            bt_rows = [b.tocsc() for b in bt_rows]
+        stacked_l = StackedCSC.from_matrices([f.l for f in factors])
+        if prepared is not None:
+            require(
+                prepared.shape.n_rows == n and prepared.shape.n_cols == m,
+                "prepared pattern does not match factor/bt dimensions",
+            )
+        else:
+            from repro.core.estimate import FactorPattern
+
+            prepared = prepare_pattern(
+                bt_rows[0], cfg, factor_pattern=FactorPattern.from_factor(factors[0])
+            )
+        col_perm = prepared.col_perm
+        shape = prepared.shape
+        plan = prepared.pruning_plan
+        # One stacked scatter permutes + densifies every member's RHS.
+        x_stack = stack_permuted_dense(bt_rows, col_perm)
+        ex.charge_bytes(2.0 * x_stack.size * FLOAT64_BYTES)
+        breakdown["permute"] += ex.elapsed - mark
+        mark = ex.elapsed
+
+        # --- transfers (GPU only): one stacked copy for the group -----------
+        if self.transfer is not None:
+            h2d_bytes = csx_bytes(stacked_l.nnz, n) + dense_bytes((n, m))
+            breakdown["transfer"] += self.transfer.time(g * h2d_bytes)
+
+        # --- batched TRSM ----------------------------------------------------
+        if cfg.trsm_variant == "orig":
+            batched_trsm_orig(ex, stacked_l, x_stack, storage=cfg.factor_storage)
+        elif cfg.trsm_variant == "rhs_split":
+            batched_trsm_rhs_split(
+                ex, stacked_l, x_stack, shape, cfg.trsm_blocks, storage=cfg.factor_storage
+            )
+        else:
+            batched_trsm_factor_split(
+                ex,
+                stacked_l,
+                x_stack,
+                shape,
+                cfg.trsm_blocks,
+                storage=cfg.factor_storage,
+                prune=cfg.prune,
+                plan=plan,
+            )
+        breakdown["trsm"] += ex.elapsed - mark
+        mark = ex.elapsed
+
+        # --- batched SYRK ----------------------------------------------------
+        f_stack = np.zeros((g, m, m), dtype=np.float64)
+        if cfg.syrk_variant == "orig":
+            batched_syrk_orig(ex, x_stack, f_stack)
+        elif cfg.syrk_variant == "input_split":
+            batched_syrk_input_split(ex, x_stack, f_stack, shape, cfg.syrk_blocks)
+        else:
+            batched_syrk_output_split(ex, x_stack, f_stack, shape, cfg.syrk_blocks)
+        breakdown["syrk"] += ex.elapsed - mark
+        mark = ex.elapsed
+
+        # --- permute every SC back to the original multiplier order ---------
+        f_out = ex.batched_symmetric_permute(f_stack, col_perm, inverse=True)
+        breakdown["permute"] += ex.elapsed - mark
+
+        share = {k: v / g for k, v in breakdown.items()}
+        elapsed = sum(share.values())
+        return [
+            SchurAssemblyResult(
+                f=f_out[i],
+                elapsed=elapsed,
+                breakdown=dict(share),
+                shape=shape,
+                col_perm=col_perm,
+                # Copy: a view would pin the whole group stack through any
+                # single retained result.
+                y=x_stack[i].copy() if keep_y else None,
+            )
+            for i in range(g)
+        ]
 
 
 __all__ = [

@@ -16,6 +16,13 @@ pivots.  Three variants:
 
 All variants execute through an :class:`~repro.gpu.runtime.Executor`, so the
 identical code path is priced on a GPU or CPU roofline.
+
+Each variant also has a ``batched_*`` twin that runs a whole fingerprint
+group at once: the control flow (block loop, skip decisions, pruning rows)
+depends only on the *shared* pattern, so one pass over the blocks issues one
+batched kernel per step for the entire ``(group, n, m)`` RHS stack.  The
+batched twins charge exactly the same FLOPs and memory traffic as ``group``
+per-member runs — only the launch count shrinks by the group size.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ import scipy.sparse as sp
 from repro.core.blocks import BlockSpec
 from repro.core.stepped import SteppedShape
 from repro.gpu.runtime import Executor
+from repro.sparse.stacked import StackedCSC
 from repro.sparse.triangular import TriangularSolver
 from repro.util import require
 
@@ -204,10 +212,130 @@ def trsm_factor_split(
             ex.spmm(lsub, xtop, x[r1:, :w], alpha=-1.0, beta=1.0)
 
 
+# ---------------------------------------------------------------------------
+# batched twins: one fingerprint group per call
+# ---------------------------------------------------------------------------
+
+
+def _check_stacks(l: StackedCSC, x_stack: np.ndarray, shape: SteppedShape | None) -> int:
+    n = l.shape[0]
+    require(l.shape == (n, n), "stacked factor must be square")
+    require(
+        x_stack.ndim == 3 and x_stack.shape[0] == l.group,
+        "RHS must be a (group, n, m) stack matching the factor stack",
+    )
+    if shape is not None:
+        require(
+            x_stack.shape[1:] == (shape.n_rows, shape.n_cols), "RHS/shape mismatch"
+        )
+        require(shape.n_rows == n, "factor order must match RHS rows")
+    else:
+        require(x_stack.shape[1] == n, "factor order must match RHS rows")
+    return n
+
+
+def batched_trsm_orig(
+    ex: Executor, l: StackedCSC, x_stack: np.ndarray, storage: str = "sparse"
+) -> None:
+    """Batched baseline TRSM: one full-size stacked solve for the group."""
+    require(storage in FACTOR_STORAGES, f"unknown factor storage {storage!r}")
+    _check_stacks(l, x_stack, None)
+    if storage == "dense":
+        ld = ex.batched_densify(l)
+        ex.batched_trsm_dense(ld, x_stack)
+    else:
+        ex.batched_trsm_sparse(l, x_stack)
+
+
+def batched_trsm_rhs_split(
+    ex: Executor,
+    l: StackedCSC,
+    x_stack: np.ndarray,
+    shape: SteppedShape,
+    blocks: BlockSpec,
+    storage: str = "sparse",
+) -> None:
+    """Batched RHS-splitting TRSM (Fig. 3a) over a stacked group."""
+    require(storage in FACTOR_STORAGES, f"unknown factor storage {storage!r}")
+    n = _check_stacks(l, x_stack, shape)
+    ld = ex.batched_densify(l) if storage == "dense" else None
+    for c0, c1 in blocks.resolve(shape.n_cols):
+        p = shape.first_pivot(c0)
+        if p >= n:
+            continue  # entirely-zero columns
+        xsub = x_stack[:, p:, c0:c1]
+        if storage == "dense":
+            ex.batched_trsm_dense(ld[:, p:, p:], xsub)
+        else:
+            lsub = ex.batched_extract_block(l, p, n, p, n)
+            ex.batched_trsm_sparse(lsub, xsub)
+
+
+def batched_trsm_factor_split(
+    ex: Executor,
+    l: StackedCSC,
+    x_stack: np.ndarray,
+    shape: SteppedShape,
+    blocks: BlockSpec,
+    storage: str = "dense",
+    prune: bool = True,
+    plan: PruningPlan | None = None,
+) -> None:
+    """Batched factor-splitting TRSM (Fig. 3b) over a stacked group.
+
+    Mirrors :func:`trsm_factor_split` block by block; pruning gathers the
+    shared non-empty rows once per block and packs every member's
+    sub-diagonal block in a single stacked densify.
+    """
+    require(storage in FACTOR_STORAGES, f"unknown factor storage {storage!r}")
+    n = _check_stacks(l, x_stack, shape)
+    g = l.group
+    resolved = blocks.resolve(n)
+    if plan is not None:
+        require(plan.matches(n, resolved), "pruning plan does not match factor/blocks")
+    for bi, (r0, r1) in enumerate(resolved):
+        w = shape.width_below(r1)
+        if w == 0:
+            continue  # the whole top block is structurally zero
+        ldiag = ex.batched_extract_block(l, r0, r1, r0, r1)
+        xtop = x_stack[:, r0:r1, :w]
+        if storage == "dense":
+            ld = ex.batched_densify(ldiag)
+            ex.batched_trsm_dense(ld, xtop)
+        else:
+            ex.batched_trsm_sparse(ldiag, xtop)
+        if r1 >= n:
+            continue
+        lsub = ex.batched_extract_block(l, r1, n, r0, r1)
+        if lsub.nnz == 0:
+            continue
+        if prune:
+            if plan is not None:
+                require(
+                    lsub.nnz == plan.nnz[bi],
+                    "pruning plan does not match the factor pattern",
+                )
+                nonempty = plan.rows[bi]
+            else:
+                nonempty = lsub.nonempty_rows()
+            a_packed = ex.batched_densify(lsub, rows=nonempty)
+            tmp = np.zeros((g, nonempty.size, w))
+            ex.batched_gemm(a_packed, xtop, tmp, beta=0.0)
+            ex.batched_scatter_add_rows(x_stack[:, r1:, :w], nonempty, tmp, sign=-1.0)
+        elif storage == "dense":
+            ld_sub = ex.batched_densify(lsub)
+            ex.batched_gemm(ld_sub, xtop, x_stack[:, r1:, :w], alpha=-1.0, beta=1.0)
+        else:
+            ex.batched_spmm(lsub, xtop, x_stack[:, r1:, :w], alpha=-1.0, beta=1.0)
+
+
 __all__ = [
     "trsm_orig",
     "trsm_rhs_split",
     "trsm_factor_split",
+    "batched_trsm_orig",
+    "batched_trsm_rhs_split",
+    "batched_trsm_factor_split",
     "PruningPlan",
     "FACTOR_STORAGES",
 ]

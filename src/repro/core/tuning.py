@@ -1,15 +1,25 @@
-"""Hyperparameter sweeps for the split kernels (Table 1 / Figure 5).
+"""Host- and model-level tuning: block sweeps and backend crossovers.
 
-The block size (or count) trades (a) work saved by skipping zeros against
-(b) the overhead of many small kernel launches (§4.1).  These helpers sweep
-a parameter grid on a given workload, report simulated assembly times, and
-pick the optimum — the machinery behind the Table 1 and Figure 5 benches.
+Two families:
+
+* Block-parameter sweeps (Table 1 / Figure 5): the block size (or count)
+  trades (a) work saved by skipping zeros against (b) the overhead of many
+  small kernel launches (§4.1).  These helpers sweep a parameter grid on a
+  given workload, report simulated assembly times, and pick the optimum.
+* The dense-vs-SuperLU crossover of :mod:`repro.sparse.triangular`'s
+  ``"auto"`` backend: :func:`measure_dense_crossover` times both backends on
+  *this* host across a size ladder and :func:`tune_dense_cutoff` installs
+  the measured cutoff via :func:`repro.sparse.triangular.set_dense_cutoff`,
+  replacing the former hard-coded constant.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
+import numpy as np
+import scipy.linalg
 import scipy.sparse as sp
 
 from repro.core.assembler import SchurAssembler
@@ -17,6 +27,7 @@ from repro.core.blocks import BlockSpec, by_count, by_size
 from repro.core.config import AssemblyConfig
 from repro.gpu.spec import DeviceSpec
 from repro.sparse.cholesky import CholeskyFactor
+from repro.sparse.triangular import TriangularSolver, set_dense_cutoff
 from repro.util import require
 
 
@@ -86,4 +97,113 @@ def tune_block_parameter(
     ).spec
 
 
-__all__ = ["SweepPoint", "sweep_block_parameter", "best_point", "tune_block_parameter"]
+# ---------------------------------------------------------------------------
+# dense-vs-SuperLU crossover of the triangular "auto" backend
+# ---------------------------------------------------------------------------
+
+#: Size ladder swept by default (brackets the shipped default of 256).
+DEFAULT_CROSSOVER_SIZES = (32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """Measured one-shot solve times of both backends at one factor order."""
+
+    n: int
+    dense_seconds: float
+    superlu_seconds: float
+
+    @property
+    def dense_wins(self) -> bool:
+        return self.dense_seconds <= self.superlu_seconds
+
+
+def _bench_factor(n: int, seed: int) -> sp.csc_matrix:
+    """Deterministic lower-triangular factor with typical sparse fill."""
+    density = min(0.2, max(4.0 / n, 16.0 / (n * n)))
+    a = sp.random(n, n, density=density, random_state=seed)
+    return sp.csc_matrix(sp.tril(a, -1) + sp.eye(n) * (1.0 + n / 16.0))
+
+
+def measure_dense_crossover(
+    sizes: tuple[int, ...] = DEFAULT_CROSSOVER_SIZES,
+    n_rhs: int = 16,
+    repeats: int = 3,
+    seed: int = 0,
+) -> list[CrossoverPoint]:
+    """Time dense LAPACK vs SuperLU one-shot triangular solves on this host.
+
+    One-shot means the SuperLU timing *includes* the analysis/factorize
+    setup — exactly what the ``"auto"`` backend amortizes away only when a
+    factor is reused, so the unamortized cost is the right quantity for the
+    crossover decision.  Minimum over *repeats* reduces scheduler noise.
+    """
+    require(len(sizes) >= 1, "need at least one size")
+    require(n_rhs >= 1 and repeats >= 1, "n_rhs and repeats must be >= 1")
+    rng = np.random.default_rng(seed)
+    points: list[CrossoverPoint] = []
+    for n in sorted(sizes):
+        l = _bench_factor(n, seed)
+        b = rng.standard_normal((n, n_rhs))
+        dense_t = []
+        superlu_t = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            ld = l.toarray()
+            scipy.linalg.solve_triangular(ld, b, lower=True)
+            dense_t.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            TriangularSolver(l).solve(b)
+            superlu_t.append(time.perf_counter() - t0)
+        points.append(
+            CrossoverPoint(
+                n=n, dense_seconds=min(dense_t), superlu_seconds=min(superlu_t)
+            )
+        )
+    return points
+
+
+def pick_dense_cutoff(points: list[CrossoverPoint]) -> int:
+    """The crossover order: end of the initial dense-winning run (0 if none).
+
+    Scanning sizes in ascending order, the cutoff is the last size of the
+    *leading consecutive* run of dense wins — a single noisy dense win high
+    up the ladder (after SuperLU already took over) cannot drag the global
+    cutoff up with it.
+    """
+    require(len(points) >= 1, "empty measurement")
+    cutoff = 0
+    for p in sorted(points, key=lambda p: p.n):
+        if not p.dense_wins:
+            break
+        cutoff = p.n
+    return cutoff
+
+
+def tune_dense_cutoff(
+    sizes: tuple[int, ...] = DEFAULT_CROSSOVER_SIZES,
+    n_rhs: int = 16,
+    repeats: int = 3,
+    seed: int = 0,
+    apply: bool = True,
+) -> int:
+    """Measure the crossover and (by default) install it as the auto cutoff."""
+    cutoff = pick_dense_cutoff(
+        measure_dense_crossover(sizes=sizes, n_rhs=n_rhs, repeats=repeats, seed=seed)
+    )
+    if apply:
+        set_dense_cutoff(cutoff)
+    return cutoff
+
+
+__all__ = [
+    "SweepPoint",
+    "sweep_block_parameter",
+    "best_point",
+    "tune_block_parameter",
+    "CrossoverPoint",
+    "DEFAULT_CROSSOVER_SIZES",
+    "measure_dense_crossover",
+    "pick_dense_cutoff",
+    "tune_dense_cutoff",
+]

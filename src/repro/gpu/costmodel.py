@@ -69,6 +69,23 @@ class KernelCost:
             sparse=self.sparse and other.sparse,
         )
 
+    def batched(self, group: int) -> "KernelCost":
+        """Cost of one *batched* library call doing this kernel's work
+        ``group`` times (cuBLAS ``*Batched`` pricing): FLOPs and memory
+        traffic scale with the group, the launch overhead does **not** — the
+        whole stack goes through a single launch.  ``char_dim`` is unchanged
+        because batching processes each member at its own matrix dimensions;
+        it amortizes launches, it does not make small BLAS operands large.
+        """
+        require(group >= 1, "group must be >= 1")
+        return KernelCost(
+            flops=self.flops * group,
+            bytes_moved=self.bytes_moved * group,
+            launches=self.launches,
+            char_dim=self.char_dim,
+            sparse=self.sparse,
+        )
+
     def time_on(self, spec: DeviceSpec) -> float:
         """Simulated execution time of this cost on *spec* (roofline)."""
         peak = spec.peak_flops * (spec.sparse_discount if self.sparse else 1.0)
@@ -97,6 +114,16 @@ class CostLedger:
         self.total = self.total + cost
         self.calls += 1
         return dt
+
+    def absorb(self, other: "CostLedger") -> None:
+        """Fold another ledger's history into this one (same resource).
+
+        Used by the batch engine to merge the per-group executors of a
+        thread-parallel grouped execution back into the caller's executor.
+        """
+        self.elapsed += other.elapsed
+        self.total = self.total + other.total
+        self.calls += other.calls
 
     def reset(self) -> None:
         self.elapsed = 0.0

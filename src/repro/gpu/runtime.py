@@ -23,6 +23,7 @@ from repro.gpu import kernels
 from repro.gpu.costmodel import CostLedger, KernelCost
 from repro.gpu.memory import MemoryPool
 from repro.gpu.spec import A100_40GB, EPYC_7763_CORE, PCIE4_X16, DeviceSpec, TransferSpec
+from repro.sparse.stacked import StackedCSC
 from repro.sparse.triangular import TriangularSolver
 from repro.util import require
 
@@ -112,6 +113,78 @@ class Executor:
 
     def symmetric_permute(self, f: np.ndarray, perm: np.ndarray, inverse: bool = True) -> np.ndarray:
         out, cost = kernels.symmetric_permute(f, perm, inverse=inverse)
+        self.charge(cost)
+        return out
+
+    # -- batched kernel façade (whole fingerprint groups, one launch each) --
+
+    def batched_trsm_dense(self, l_stack: np.ndarray, x_stack: np.ndarray) -> float:
+        return self.charge(kernels.batched_trsm_dense(l_stack, x_stack))
+
+    def batched_trsm_sparse(self, l: StackedCSC, x_stack: np.ndarray) -> float:
+        return self.charge(kernels.batched_trsm_sparse(l, x_stack))
+
+    def batched_syrk(
+        self,
+        y_stack: np.ndarray,
+        c_stack: np.ndarray,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+    ) -> float:
+        return self.charge(kernels.batched_syrk(y_stack, c_stack, alpha=alpha, beta=beta))
+
+    def batched_gemm(
+        self,
+        a_stack: np.ndarray,
+        b_stack: np.ndarray,
+        c_stack: np.ndarray,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        trans_a: bool = False,
+    ) -> float:
+        return self.charge(
+            kernels.batched_gemm(
+                a_stack, b_stack, c_stack, alpha=alpha, beta=beta, trans_a=trans_a
+            )
+        )
+
+    def batched_spmm(
+        self,
+        a: StackedCSC,
+        b_stack: np.ndarray,
+        c_stack: np.ndarray,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+    ) -> float:
+        return self.charge(kernels.batched_spmm(a, b_stack, c_stack, alpha=alpha, beta=beta))
+
+    def batched_scatter_add_rows(
+        self,
+        target_stack: np.ndarray,
+        rows: np.ndarray,
+        values_stack: np.ndarray,
+        sign: float = 1.0,
+    ) -> float:
+        return self.charge(
+            kernels.batched_scatter_add_rows(target_stack, rows, values_stack, sign=sign)
+        )
+
+    def batched_extract_block(
+        self, a: StackedCSC, r0: int, r1: int, c0: int, c1: int
+    ) -> StackedCSC:
+        block, cost = kernels.batched_extract_block(a, r0, r1, c0, c1)
+        self.charge(cost)
+        return block
+
+    def batched_densify(self, a: StackedCSC, rows: np.ndarray | None = None) -> np.ndarray:
+        out, cost = kernels.batched_densify(a, rows=rows)
+        self.charge(cost)
+        return out
+
+    def batched_symmetric_permute(
+        self, f_stack: np.ndarray, perm: np.ndarray, inverse: bool = True
+    ) -> np.ndarray:
+        out, cost = kernels.batched_symmetric_permute(f_stack, perm, inverse=inverse)
         self.charge(cost)
         return out
 

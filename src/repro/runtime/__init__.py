@@ -12,7 +12,13 @@ from repro.runtime.pipeline import (
     SubdomainWork,
     run_preprocessing_pipeline,
 )
-from repro.runtime.scheduler import Schedule, ScheduledTask, Task, schedule_tasks
+from repro.runtime.scheduler import (
+    Schedule,
+    ScheduledTask,
+    Task,
+    host_worker_count,
+    schedule_tasks,
+)
 from repro.runtime.trace import gantt, render_schedule
 
 __all__ = [
@@ -20,6 +26,7 @@ __all__ = [
     "ScheduledTask",
     "Schedule",
     "schedule_tasks",
+    "host_worker_count",
     "SubdomainWork",
     "PipelineResult",
     "run_preprocessing_pipeline",

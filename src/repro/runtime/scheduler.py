@@ -10,6 +10,7 @@ the ``sep``/``mix`` preprocessing configurations of Fig. 8.
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 
 from repro.util import require
@@ -112,4 +113,22 @@ def schedule_tasks(tasks: list[Task], n_cpu: int, n_gpu: int) -> Schedule:
     return Schedule(tasks=placed, makespan=makespan, busy=busy)
 
 
-__all__ = ["Task", "ScheduledTask", "Schedule", "schedule_tasks"]
+def host_worker_count(n_workers: int | None = None, n_tasks: int | None = None) -> int:
+    """Resolve a *real* host thread-pool size (not a simulated resource).
+
+    Used by the batch engine to fan independent fingerprint groups across a
+    ``ThreadPoolExecutor`` — NumPy/SciPy release the GIL inside BLAS, so the
+    grouped numeric kernels genuinely overlap.  ``None`` takes every
+    available core; an explicit count is honoured as given; either is
+    clamped to *n_tasks* when known (more workers than groups is waste).
+    """
+    available = os.cpu_count() or 1
+    n = available if n_workers is None else n_workers
+    require(n >= 1, "n_workers must be >= 1 (or None for all host cores)")
+    if n_tasks is not None:
+        require(n_tasks >= 0, "n_tasks must be >= 0")
+        n = min(n, max(n_tasks, 1))
+    return int(n)
+
+
+__all__ = ["Task", "ScheduledTask", "Schedule", "schedule_tasks", "host_worker_count"]

@@ -54,8 +54,13 @@ from repro.sparse.symbolic import (
     symbolic_factorize,
     symbolic_from_factor,
 )
+from repro.sparse.stacked import StackedCSC, stack_permuted_dense
 from repro.sparse.triangular import (
+    DEFAULT_DENSE_CUTOFF,
     TriangularSolver,
+    cached_triangular_solver,
+    get_dense_cutoff,
+    set_dense_cutoff,
     solve_lower,
     solve_upper,
     spsolve_lower_sparse,
@@ -90,7 +95,13 @@ __all__ = [
     "solve_lower",
     "solve_upper",
     "TriangularSolver",
+    "cached_triangular_solver",
+    "DEFAULT_DENSE_CUTOFF",
+    "get_dense_cutoff",
+    "set_dense_cutoff",
     "spsolve_lower_sparse",
+    "StackedCSC",
+    "stack_permuted_dense",
     "schur_augmented",
     "AugmentedSchurResult",
     "estimate_augmented_cost",

@@ -1,0 +1,172 @@
+"""Stacks of same-pattern sparse matrices — the batched numeric substrate.
+
+Members of one fingerprint group of :mod:`repro.batch` share the *exact*
+stored CSC pattern of their factor and gluing matrices; only the values
+differ.  :class:`StackedCSC` exploits that: it keeps the pattern once
+(``indptr``/``indices``) next to a ``(group, nnz)`` value stack, so block
+extraction, row packing and densification become single vectorized NumPy
+operations over the whole group instead of ``group`` separate SciPy calls —
+the host-side analogue of the stacked device buffers a cuBLAS ``*Batched``
+kernel consumes.
+
+Everything here is numerics-only; cost accounting lives with the batched
+kernels in :mod:`repro.gpu.kernels`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util import require
+
+
+def _canonical_csc(a: sp.spmatrix) -> sp.csc_matrix:
+    """CSC with sorted indices and summed duplicates (copy only if needed)."""
+    ac = a.tocsc()
+    if not ac.has_canonical_format:
+        ac = ac.copy()
+        ac.sum_duplicates()
+    return ac
+
+
+@dataclass(frozen=True)
+class StackedCSC:
+    """``group`` CSC matrices with one shared pattern and stacked values.
+
+    Attributes
+    ----------
+    shape:
+        The (rows, cols) shape every member shares.
+    indptr / indices:
+        The shared CSC pattern (sorted row indices within each column).
+    data:
+        ``(group, nnz)`` float64 stack; ``data[g]`` are member *g*'s stored
+        values in the shared pattern's entry order.
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        require(self.data.ndim == 2, "data must be (group, nnz)")
+        require(self.data.shape[1] == self.indices.shape[0], "data/pattern nnz mismatch")
+        require(self.indptr.shape[0] == self.shape[1] + 1, "indptr/shape mismatch")
+
+    @property
+    def group(self) -> int:
+        """Number of stacked members."""
+        return int(self.data.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries of *one* member (the shared pattern's count)."""
+        return int(self.indices.shape[0])
+
+    @classmethod
+    def from_matrices(cls, mats: list[sp.spmatrix]) -> "StackedCSC":
+        """Stack same-pattern sparse matrices; raises if any pattern differs."""
+        require(len(mats) >= 1, "need at least one matrix to stack")
+        first = _canonical_csc(mats[0])
+        data = np.empty((len(mats), first.nnz), dtype=np.float64)
+        data[0] = first.data
+        for g, m in enumerate(mats[1:], start=1):
+            mc = _canonical_csc(m)
+            require(mc.shape == first.shape, f"member {g}: shape differs")
+            require(
+                mc.nnz == first.nnz
+                and np.array_equal(mc.indptr, first.indptr)
+                and np.array_equal(mc.indices, first.indices),
+                f"member {g}: stored pattern differs — not one fingerprint group",
+            )
+            data[g] = mc.data
+        return cls(
+            shape=first.shape,
+            indptr=np.asarray(first.indptr),
+            indices=np.asarray(first.indices),
+            data=data,
+        )
+
+    def entry_columns(self) -> np.ndarray:
+        """Column index of every stored entry (CSC expansion of ``indptr``)."""
+        return np.repeat(np.arange(self.shape[1], dtype=np.intp), np.diff(self.indptr))
+
+    def block(self, r0: int, r1: int, c0: int, c1: int) -> "StackedCSC":
+        """``A[r0:r1, c0:c1]`` of every member in one pattern-driven gather."""
+        require(0 <= r0 <= r1 <= self.shape[0], "row range out of bounds")
+        require(0 <= c0 <= c1 <= self.shape[1], "column range out of bounds")
+        start, end = int(self.indptr[c0]), int(self.indptr[c1])
+        rows = self.indices[start:end]
+        mask = (rows >= r0) & (rows < r1)
+        sel = np.flatnonzero(mask) + start
+        cols = np.repeat(
+            np.arange(c1 - c0, dtype=np.intp), np.diff(self.indptr[c0 : c1 + 1])
+        )[mask]
+        indptr = np.zeros(c1 - c0 + 1, dtype=self.indptr.dtype)
+        np.cumsum(np.bincount(cols, minlength=c1 - c0), out=indptr[1:])
+        return StackedCSC(
+            shape=(r1 - r0, c1 - c0),
+            indptr=indptr,
+            indices=rows[mask] - r0,
+            data=self.data[:, sel],
+        )
+
+    def nonempty_rows(self) -> np.ndarray:
+        """Rows with at least one stored entry (shared across the group)."""
+        return np.unique(self.indices).astype(np.intp)
+
+    def toarray(self, rows: np.ndarray | None = None) -> np.ndarray:
+        """Densify every member into a ``(group, rows, cols)`` stack.
+
+        With *rows* (sorted local row indices that must cover every stored
+        row), the result is the *packed* ``(group, len(rows), cols)`` stack —
+        the pruning gather that feeds the batched GEMM.
+        """
+        cols = self.entry_columns()
+        if rows is None:
+            out = np.zeros((self.group, self.shape[0], self.shape[1]))
+            out[:, self.indices, cols] = self.data
+            return out
+        rank = np.full(self.shape[0], -1, dtype=np.intp)
+        rank[rows] = np.arange(rows.size, dtype=np.intp)
+        local = rank[self.indices]
+        require(bool(np.all(local >= 0)), "rows must cover every stored entry")
+        out = np.zeros((self.group, rows.size, self.shape[1]))
+        out[:, local, cols] = self.data
+        return out
+
+    def member(self, g: int) -> sp.csc_matrix:
+        """Member *g* as an ordinary CSC matrix (tests, debugging)."""
+        require(0 <= g < self.group, "member index out of range")
+        return sp.csc_matrix(
+            (self.data[g].copy(), self.indices.copy(), self.indptr.copy()),
+            shape=self.shape,
+        )
+
+
+def stack_permuted_dense(
+    bt_rows: list[sp.spmatrix], col_perm: np.ndarray
+) -> np.ndarray:
+    """Column-permute and densify a group of same-pattern RHS matrices.
+
+    The batched equivalent of the per-member ``bt_rows[:, col_perm].toarray()``
+    stepped-shape step of :meth:`repro.core.assembler.SchurAssembler.assemble`:
+    one scatter over the shared pattern fills the whole ``(group, n, m)``
+    stack.  Raises if the members' stored patterns differ.
+    """
+    stacked = StackedCSC.from_matrices(bt_rows)
+    n, m = stacked.shape
+    col_perm = np.asarray(col_perm, dtype=np.intp)
+    require(col_perm.shape == (m,), "col_perm length must match column count")
+    inverse = np.empty(m, dtype=np.intp)
+    inverse[col_perm] = np.arange(m, dtype=np.intp)
+    out = np.zeros((stacked.group, n, m))
+    out[:, stacked.indices, inverse[stacked.entry_columns()]] = stacked.data
+    return out
+
+
+__all__ = ["StackedCSC", "stack_permuted_dense"]

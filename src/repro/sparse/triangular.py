@@ -9,14 +9,28 @@ Provides the three TRSM flavours the paper's algorithm needs:
   compiled solve — the fast path), and ``"dense"`` (densify + LAPACK
   ``trsm``, what the *dense factor storage* setting of the paper does).
 * :class:`TriangularSolver` — caches the SuperLU object so repeated solves
-  with one factor (FETI iterations) pay the analysis once.
+  with one factor (FETI iterations) pay the analysis once.  The module-level
+  ``"superlu"`` path amortizes too: :func:`cached_triangular_solver` memoizes
+  the solver per factor object in a small LRU, so repeated
+  :func:`solve_lower`/:func:`solve_upper` calls with the same factor pay the
+  SuperLU analysis once instead of per call.
 * :func:`spsolve_lower_sparse` — sparse factor, **sparse** RHS via
   Gilbert–Peierls reach + numeric scatter; returns the exact FLOPs
   performed.  This is what makes the augmented-factorization Schur
   complement (PARDISO stand-in) cheap for very sparse problems.
+
+The ``"auto"`` backend picks dense LAPACK below a *dense cutoff* (SuperLU
+setup dominates for small orders).  The cutoff defaults to
+:data:`DEFAULT_DENSE_CUTOFF` and is host-tunable: measure the actual
+crossover with :func:`repro.core.tuning.tune_dense_cutoff` or set it
+directly with :func:`set_dense_cutoff`.
 """
 
 from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
 
 import numpy as np
 import scipy.linalg
@@ -27,8 +41,29 @@ from repro.util import check_lower_triangular, check_sparse_square, require
 
 _BACKENDS = ("auto", "python", "superlu", "dense")
 
-# Below this factor order the dense LAPACK path beats SuperLU setup.
-_DENSE_CUTOFF = 256
+#: Default factor order below which the dense LAPACK path beats SuperLU setup.
+DEFAULT_DENSE_CUTOFF = 256
+
+_dense_cutoff = DEFAULT_DENSE_CUTOFF
+
+
+def get_dense_cutoff() -> int:
+    """Current dense-vs-SuperLU crossover used by the ``"auto"`` backend."""
+    return _dense_cutoff
+
+
+def set_dense_cutoff(n: int) -> int:
+    """Set the ``"auto"`` crossover; returns the previous value.
+
+    ``0`` sends every auto solve to SuperLU; a very large value sends every
+    auto solve to dense LAPACK.  :func:`repro.core.tuning.tune_dense_cutoff`
+    measures the right value for this host.
+    """
+    global _dense_cutoff
+    require(n >= 0, "dense cutoff must be >= 0")
+    previous = _dense_cutoff
+    _dense_cutoff = int(n)
+    return previous
 
 
 def solve_lower(
@@ -66,7 +101,7 @@ def _solve_triangular(
         b = b[:, None]
     require(b.shape[0] == n, f"RHS has {b.shape[0]} rows, factor has order {n}")
     if method == "auto":
-        method = "dense" if n <= _DENSE_CUTOFF else "superlu"
+        method = "dense" if n <= _dense_cutoff else "superlu"
 
     if method == "python":
         x = _forward_python(l, b) if lower else _backward_python(l, b)
@@ -75,8 +110,8 @@ def _solve_triangular(
         x = scipy.linalg.solve_triangular(
             ld, b, lower=True, trans="N" if lower else "T", unit_diagonal=unit_diagonal
         )
-    else:  # superlu
-        solver = TriangularSolver(l)
+    else:  # superlu, amortized per factor object
+        solver = cached_triangular_solver(l)
         x = solver.solve(b, transpose=not lower)
     return x[:, 0] if squeeze else x
 
@@ -143,6 +178,60 @@ class TriangularSolver:
         """Solve ``L x = b`` (or ``L^T x = b`` when *transpose*)."""
         b = np.asarray(b, dtype=np.float64)
         return self._lu.solve(b, trans="T" if transpose else "N")
+
+
+#: Bound of the per-factor solver memo (each entry holds one SuperLU object).
+SOLVER_CACHE_MAX_ENTRIES = 32
+
+_solver_cache: OrderedDict[int, tuple[weakref.ref, np.ndarray, TriangularSolver]] = (
+    OrderedDict()
+)
+_solver_cache_lock = threading.Lock()
+
+
+def cached_triangular_solver(l: sp.spmatrix) -> TriangularSolver:
+    """Memoized :class:`TriangularSolver` for *l* (small thread-safe LRU).
+
+    Keyed on the factor *object's* identity, guarded by a weak reference (a
+    recycled ``id`` after garbage collection can never alias a stale solver)
+    and a snapshot of the stored values: mutating ``l.data`` in place simply
+    rebuilds the solver, never returns stale numerics.  The value check is a
+    flat array compare — O(nnz), negligible next to both the SuperLU
+    analysis it avoids and the solve that follows.  This is what lets the
+    module-level ``solve_lower``/``solve_upper`` ``"superlu"`` path pay the
+    analysis once per factor instead of once per call.
+    """
+    if not sp.issparse(l) or l.format not in ("csc", "csr"):
+        return TriangularSolver(l)  # exotic formats: no stable value buffer
+    key = id(l)
+    with _solver_cache_lock:
+        entry = _solver_cache.get(key)
+        if entry is not None:
+            ref, data_snapshot, solver = entry
+            if (
+                ref() is l
+                and data_snapshot.shape == l.data.shape
+                and np.array_equal(data_snapshot, l.data)
+            ):
+                _solver_cache.move_to_end(key)
+                return solver
+            del _solver_cache[key]  # stale: id recycled or values mutated
+    solver = TriangularSolver(l)  # build outside the lock — splu can be slow
+
+    def _evict_on_death(dead_ref: weakref.ref, _key: int = key) -> None:
+        # Free the SuperLU object + value snapshot as soon as the factor
+        # dies, instead of pinning them until LRU churn evicts the entry.
+        with _solver_cache_lock:
+            entry = _solver_cache.get(_key)
+            if entry is not None and entry[0] is dead_ref:
+                del _solver_cache[_key]
+
+    with _solver_cache_lock:
+        _solver_cache[key] = (weakref.ref(l, _evict_on_death), l.data.copy(), solver)
+        _solver_cache.move_to_end(key)
+        while len(_solver_cache) > SOLVER_CACHE_MAX_ENTRIES:
+            _solver_cache.popitem(last=False)
+    return solver
 
 
 def spsolve_lower_sparse(
@@ -262,5 +351,10 @@ __all__ = [
     "solve_lower",
     "solve_upper",
     "TriangularSolver",
+    "cached_triangular_solver",
+    "SOLVER_CACHE_MAX_ENTRIES",
+    "DEFAULT_DENSE_CUTOFF",
+    "get_dense_cutoff",
+    "set_dense_cutoff",
     "spsolve_lower_sparse",
 ]

@@ -1,0 +1,332 @@
+"""Tests for the batched (grouped) numeric execution path.
+
+The contract under test: for members sharing one exact fingerprint, the
+stacked group path of :meth:`SchurAssembler.assemble_group` /
+``BatchAssembler.assemble_batch(execution="grouped")`` produces the same
+Schur complements as the per-member path (allclose at tight tolerance —
+BLAS association order differs inside the batched solves), charges identical
+FLOPs and memory traffic, and shrinks kernel launches by the group size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import (
+    GROUPED_AUTO_THRESHOLD,
+    BatchAssembler,
+    BatchItem,
+    items_from_decomposition,
+)
+from repro.core import AssemblyConfig, SchurAssembler, by_count, by_size, default_config
+from repro.gpu import A100_40GB, Executor
+from repro.runtime import host_worker_count
+from repro.sparse import StackedCSC, cholesky, stack_permuted_dense
+from repro.sparse.cholesky import CholeskyFactor
+from tests.conftest import random_spd
+
+RTOL, ATOL = 1e-9, 1e-10
+
+
+def make_group(n: int, m: int, g: int, seed: int, density: float = 0.3):
+    """Build *g* members sharing exact factor and gluing patterns.
+
+    Pattern sharing is by construction: one reference factor / gluing
+    pattern, member values perturbed multiplicatively (never to zero) — the
+    same guarantee an equal factor fingerprint gives the engine.
+    """
+    rng = np.random.default_rng(seed)
+    base = cholesky(random_spd(n, density=min(1.0, 8.0 / n), seed=seed), ordering="natural")
+    bt0 = sp.random(n, m, density=density, random_state=seed + 1, format="csc")
+    bt0.data = 0.5 + rng.random(bt0.nnz)
+    factors, bts = [], []
+    for _ in range(g):
+        l = base.l.copy()
+        l.data = l.data * (1.0 + 0.2 * rng.random(l.nnz))
+        factors.append(
+            CholeskyFactor(l=l, perm=base.perm, flops=base.flops, engine=base.engine)
+        )
+        bt = bt0.copy()
+        bt.data = bt.data * (1.0 + 0.2 * rng.random(bt.nnz))
+        bts.append(bt)
+    return factors, bts
+
+
+VARIANTS = [
+    (trsm, syrk)
+    for trsm in ("orig", "rhs_split", "factor_split")
+    for syrk in ("orig", "input_split", "output_split")
+]
+
+
+# ---------------------------------------------------------------------------
+# property: grouped == per-member across the whole variant space
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    g=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=4, max_value=32),
+    m=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+    variant=st.sampled_from(VARIANTS),
+    storage=st.sampled_from(["sparse", "dense"]),
+    prune=st.booleans(),
+    blocks=st.sampled_from([by_size(5), by_size(64), by_count(3)]),
+)
+def test_property_grouped_matches_per_member(g, n, m, seed, variant, storage, prune, blocks):
+    trsm, syrk = variant
+    cfg = AssemblyConfig(
+        trsm_variant=trsm,
+        syrk_variant=syrk,
+        trsm_blocks=blocks,
+        syrk_blocks=blocks,
+        factor_storage=storage,
+        prune=prune,
+    )
+    factors, bts = make_group(n, m, g, seed)
+    asm = SchurAssembler(config=cfg)
+    ex_pm, ex_gr = Executor(A100_40GB), Executor(A100_40GB)
+    refs = [asm.assemble(f, bt, executor=ex_pm) for f, bt in zip(factors, bts)]
+    res = asm.assemble_group(factors, bts, executor=ex_gr)
+    assert len(res) == g
+    for r, q in zip(refs, res):
+        scale = max(1.0, float(np.abs(r.f).max(initial=0.0)))
+        assert np.allclose(q.f, r.f, rtol=RTOL, atol=ATOL * scale)
+        assert np.array_equal(q.col_perm, r.col_perm)
+    # KernelCost totals: identical FLOPs and bytes, launches shrink by >= g.
+    pm, gr = ex_pm.ledger.total, ex_gr.ledger.total
+    assert gr.flops == pytest.approx(pm.flops, rel=1e-12)
+    assert gr.bytes_moved == pytest.approx(pm.bytes_moved, rel=1e-12)
+    assert gr.launches * g <= pm.launches
+    # Fewer launches, same roofline terms: simulated time can only improve.
+    assert ex_gr.elapsed <= ex_pm.elapsed * (1.0 + 1e-9)
+
+
+# ---------------------------------------------------------------------------
+# assemble_group contract
+# ---------------------------------------------------------------------------
+
+
+def test_assemble_group_rejects_mismatched_patterns():
+    factors, bts = make_group(12, 5, 2, seed=1)
+    other_factor = cholesky(random_spd(12, density=0.9, seed=99), ordering="natural")
+    with pytest.raises(ValueError, match="pattern differs"):
+        SchurAssembler().assemble_group([factors[0], other_factor], bts)
+
+
+def test_assemble_group_rejects_bad_lengths():
+    factors, bts = make_group(10, 4, 2, seed=2)
+    with pytest.raises(ValueError, match="same length"):
+        SchurAssembler().assemble_group(factors, bts[:1])
+    with pytest.raises(ValueError, match="at least one"):
+        SchurAssembler().assemble_group([], [])
+
+
+def test_assemble_group_keep_y_matches_per_member():
+    factors, bts = make_group(14, 6, 3, seed=3)
+    asm = SchurAssembler(config=default_config("gpu", 2))
+    refs = [asm.assemble(f, bt, keep_y=True) for f, bt in zip(factors, bts)]
+    res = asm.assemble_group(factors, bts, keep_y=True)
+    for r, q in zip(refs, res):
+        assert np.allclose(q.y, r.y, rtol=RTOL, atol=ATOL)
+
+
+def test_assemble_group_breakdown_shares_sum_to_group_total():
+    factors, bts = make_group(16, 5, 4, seed=4)
+    ex = Executor(A100_40GB)
+    res = SchurAssembler(config=default_config("gpu", 2)).assemble_group(
+        factors, bts, executor=ex
+    )
+    kernel_total = sum(sum(r.breakdown[k] for k in ("permute", "trsm", "syrk")) for r in res)
+    assert kernel_total == pytest.approx(ex.elapsed)
+    # Transfer is priced off-executor (PCIe model), equal share per member.
+    assert len({r.breakdown["transfer"] for r in res}) == 1
+
+
+# ---------------------------------------------------------------------------
+# engine execution modes
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def floating_4x4():
+    from repro.dd import decompose
+    from repro.fem import heat_transfer_2d
+
+    problem = heat_transfer_2d(16, dirichlet=())
+    decomposition = decompose(problem, grid=(4, 4))
+    return items_from_decomposition(decomposition)
+
+
+def test_engine_grouped_matches_per_member(floating_4x4):
+    cfg = default_config("gpu", 2)
+    pm = BatchAssembler(config=cfg).assemble_batch(floating_4x4, execution="per-member")
+    gr = BatchAssembler(config=cfg).assemble_batch(floating_4x4, execution="grouped")
+    assert gr.stats.n_grouped == gr.stats.n_subdomains
+    assert gr.stats.execution == "grouped" and pm.stats.execution == "per-member"
+    for a, b in zip(pm.results, gr.results):
+        scale = max(1.0, float(np.abs(a.f).max(initial=0.0)))
+        assert np.allclose(b.f, a.f, rtol=RTOL, atol=ATOL * scale)
+    # Launches shrink per group by exactly the group size.
+    assert set(gr.stats.group_launches) == set(pm.stats.group_launches)
+    for key, members in pm.groups.items():
+        assert gr.stats.group_launches[key] * len(members) <= pm.stats.group_launches[key]
+    assert gr.stats.kernel_launches < pm.stats.kernel_launches
+    assert set(gr.stats.group_execute_seconds) == set(gr.stats.group_launches)
+
+
+def test_engine_parallel_workers_match_serial(floating_4x4):
+    cfg = default_config("gpu", 2)
+    serial = BatchAssembler(config=cfg).assemble_batch(
+        floating_4x4, execution="grouped", n_workers=1
+    )
+    parallel = BatchAssembler(config=cfg).assemble_batch(
+        floating_4x4, execution="grouped", n_workers=4
+    )
+    for a, b in zip(serial.results, parallel.results):
+        assert np.array_equal(a.f, b.f)  # same kernels, same order: bitwise
+    assert parallel.stats.kernel_launches == serial.stats.kernel_launches
+
+
+def test_engine_auto_threshold(floating_4x4):
+    """auto batches only groups of >= GROUPED_AUTO_THRESHOLD members; the
+    4x4 floating grid has a 4-member interior group and smaller ones."""
+    cfg = default_config("gpu", 2)
+    auto = BatchAssembler(config=cfg).assemble_batch(floating_4x4, execution="auto")
+    sizes = sorted(len(v) for v in auto.groups.values())
+    expected = sum(s for s in sizes if s >= GROUPED_AUTO_THRESHOLD)
+    assert auto.stats.n_grouped == expected
+    assert 0 < auto.stats.n_grouped < auto.stats.n_subdomains
+    assert all(r is not None for r in auto.results)
+
+
+def test_engine_auto_skips_large_sparse_groups():
+    """auto keeps big sparse-storage groups per-member: the batched kernels
+    are dense, so a large sparse factor's SuperLU path is the faster host
+    path (the grouped win targets many *small* subdomains)."""
+    from repro.batch import GROUPED_AUTO_MAX_SPARSE_ORDER
+
+    n = GROUPED_AUTO_MAX_SPARSE_ORDER + 10
+    factors, bts = make_group(n, 8, GROUPED_AUTO_THRESHOLD, seed=11, density=0.1)
+    items = [BatchItem(f, bt) for f, bt in zip(factors, bts)]
+    sparse_cfg = default_config("gpu", 2).with_overrides(factor_storage="sparse")
+    dense_cfg = sparse_cfg.with_overrides(factor_storage="dense")
+    auto_sparse = BatchAssembler(config=sparse_cfg).assemble_batch(items, execution="auto")
+    assert auto_sparse.stats.n_grouped == 0  # order cap applies
+    auto_dense = BatchAssembler(config=dense_cfg).assemble_batch(items, execution="auto")
+    assert auto_dense.stats.n_grouped == len(items)  # dense storage: no cap
+
+
+def test_engine_grouped_absorbs_into_shared_executor():
+    factors, bts = make_group(12, 4, 3, seed=6)
+    items = [BatchItem(f, bt) for f, bt in zip(factors, bts)]
+    engine = BatchAssembler(config=default_config("gpu", 2))
+    ex = Executor(A100_40GB)
+    batch = engine.assemble_batch(items, execution="grouped", executor=ex)
+    assert ex.ledger.total.launches == batch.stats.kernel_launches
+    assert ex.elapsed > 0
+
+
+def test_engine_rejects_unknown_execution():
+    engine = BatchAssembler()
+    with pytest.raises(ValueError, match="execution mode"):
+        engine.assemble_batch([], execution="warp")
+
+
+def test_engine_plan_only_has_no_execution_counters(floating_4x4):
+    batch = BatchAssembler(config=default_config("gpu", 2)).assemble_batch(
+        floating_4x4, execute=False, execution="grouped"
+    )
+    assert batch.stats.kernel_launches == 0
+    assert batch.stats.n_grouped == 0
+    assert batch.stats.group_launches == {}
+
+
+def test_stats_merge_covers_execution_counters():
+    from repro.batch import BatchStats
+
+    a = BatchStats(
+        execution="grouped",
+        n_grouped=2,
+        kernel_launches=10,
+        execute_seconds=1.0,
+        group_execute_seconds={"x": 1.0},
+        group_launches={"x": 10},
+    )
+    b = BatchStats(
+        execution="per-member",
+        n_grouped=0,
+        kernel_launches=4,
+        execute_seconds=0.5,
+        group_execute_seconds={"x": 0.5, "y": 2.0},
+        group_launches={"y": 4},
+    )
+    merged = a.merge(b)
+    assert merged.execution == "mixed"
+    assert merged.kernel_launches == 14
+    assert merged.group_execute_seconds == {"x": 1.5, "y": 2.0}
+    assert merged.group_launches == {"x": 10, "y": 4}
+    assert "batched" in a.summary()
+
+
+# ---------------------------------------------------------------------------
+# stacked container + worker plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_stacked_csc_roundtrip_and_blocks():
+    factors, _ = make_group(15, 3, 3, seed=7)
+    stacked = StackedCSC.from_matrices([f.l for f in factors])
+    assert stacked.group == 3 and stacked.nnz == factors[0].l.nnz
+    for g, f in enumerate(factors):
+        assert np.array_equal(stacked.toarray()[g], f.l.toarray())
+        assert np.array_equal(
+            stacked.block(4, 12, 0, 7).toarray()[g], f.l.toarray()[4:12, 0:7]
+        )
+        assert (stacked.member(g) != f.l).nnz == 0
+    blk = stacked.block(5, 15, 0, 5)
+    packed = blk.toarray(rows=blk.nonempty_rows())
+    dense = factors[1].l.toarray()[5:15, 0:5]
+    assert np.array_equal(packed[1], dense[blk.nonempty_rows()])
+
+
+def test_stacked_csc_rejects_shape_and_pattern_mismatch():
+    a = sp.random(8, 8, density=0.4, random_state=0, format="csc")
+    with pytest.raises(ValueError, match="shape differs"):
+        StackedCSC.from_matrices([a, sp.csc_matrix((7, 8))])
+    b = a.copy()
+    b.data = b.data * 2.0
+    StackedCSC.from_matrices([a, b])  # same pattern: fine
+    c = sp.random(8, 8, density=0.4, random_state=1, format="csc")
+    with pytest.raises(ValueError, match="pattern differs"):
+        StackedCSC.from_matrices([a, c])
+
+
+def test_stack_permuted_dense_matches_per_member():
+    rng = np.random.default_rng(0)
+    base = sp.random(9, 6, density=0.5, random_state=2, format="csc")
+    mats = []
+    for _ in range(3):
+        m = base.copy()
+        m.data = rng.random(m.nnz) + 0.5
+        mats.append(m)
+    perm = rng.permutation(6)
+    x = stack_permuted_dense(mats, perm)
+    for g, m in enumerate(mats):
+        assert np.array_equal(x[g], m.toarray()[:, perm])
+
+
+def test_host_worker_count():
+    assert host_worker_count(1) == 1
+    assert host_worker_count(3, n_tasks=2) == 2
+    assert host_worker_count(2, n_tasks=0) == 1
+    assert host_worker_count(None) >= 1
+    assert host_worker_count(None, n_tasks=1) == 1
+    with pytest.raises(ValueError, match="n_workers"):
+        host_worker_count(0)

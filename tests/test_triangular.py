@@ -159,3 +159,137 @@ def test_property_spsolve_matches_dense(n, seed, density):
     b = sp.random(n, 3, density=density, random_state=seed, format="csc")
     y, _ = spsolve_lower_sparse(l, b)
     assert np.allclose(l @ y.toarray(), b.toarray(), atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# solver memoization (superlu path) and the configurable dense cutoff
+# ---------------------------------------------------------------------------
+
+
+def test_superlu_solver_memoized_per_factor(rng):
+    from repro.sparse import triangular as tri
+
+    l = _factor(40, seed=7)
+    b = rng.standard_normal((40, 2))
+    with tri._solver_cache_lock:
+        tri._solver_cache.clear()
+    x1 = solve_lower(l, b, method="superlu")
+    solver_first = tri._solver_cache[id(l)][2]
+    x2 = solve_lower(l, b, method="superlu")
+    assert tri._solver_cache[id(l)][2] is solver_first  # reused, not rebuilt
+    assert np.array_equal(x1, x2)
+    # A different factor object gets its own entry.
+    l2 = _factor(40, seed=8)
+    solve_upper(l2, b, method="superlu")
+    assert tri._solver_cache[id(l2)][2] is not solver_first
+
+
+def test_cached_solver_identity_and_equivalence(rng):
+    from repro.sparse import cached_triangular_solver
+
+    l = _factor(30, seed=3)
+    s1 = cached_triangular_solver(l)
+    s2 = cached_triangular_solver(l)
+    assert s1 is s2
+    b = rng.standard_normal(30)
+    assert np.allclose(s1.solve(b), TriangularSolver(l).solve(b))
+
+
+def test_cached_solver_rebuilds_on_value_mutation(rng):
+    """In-place value mutation must rebuild, never return stale numerics."""
+    from repro.sparse import cached_triangular_solver
+
+    l = _factor(25, seed=4)
+    b = rng.standard_normal(25)
+    s1 = cached_triangular_solver(l)
+    l.data *= 2.0
+    s2 = cached_triangular_solver(l)
+    assert s2 is not s1
+    x = solve_lower(l, b, method="superlu")
+    assert np.allclose(l @ x, b, atol=1e-9)  # solved against the NEW values
+
+
+def test_solver_cache_is_bounded():
+    from repro.sparse import triangular as tri
+    from repro.sparse.triangular import SOLVER_CACHE_MAX_ENTRIES, cached_triangular_solver
+
+    with tri._solver_cache_lock:
+        tri._solver_cache.clear()
+    keep = [_factor(12, seed=100 + i) for i in range(SOLVER_CACHE_MAX_ENTRIES + 5)]
+    for l in keep:
+        cached_triangular_solver(l)
+    assert len(tri._solver_cache) == SOLVER_CACHE_MAX_ENTRIES
+    # The most recent factors survived (LRU evicts the oldest).
+    assert id(keep[-1]) in tri._solver_cache
+    assert id(keep[0]) not in tri._solver_cache
+
+
+def test_dense_cutoff_get_set_roundtrip():
+    from repro.sparse import get_dense_cutoff, set_dense_cutoff
+
+    original = get_dense_cutoff()
+    try:
+        assert set_dense_cutoff(7) == original
+        assert get_dense_cutoff() == 7
+        with pytest.raises(ValueError, match="cutoff"):
+            set_dense_cutoff(-1)
+        assert get_dense_cutoff() == 7  # rejected values leave state intact
+    finally:
+        set_dense_cutoff(original)
+
+
+def test_auto_backend_respects_cutoff(rng, monkeypatch):
+    """With cutoff 0 every auto solve goes through SuperLU; with a huge
+    cutoff, through dense LAPACK — observable via the solver cache."""
+    from repro.sparse import set_dense_cutoff
+    from repro.sparse import triangular as tri
+
+    l = _factor(25, seed=9)
+    b = rng.standard_normal((25, 2))
+    original = tri.get_dense_cutoff()
+    try:
+        with tri._solver_cache_lock:
+            tri._solver_cache.clear()
+        set_dense_cutoff(10_000)
+        solve_lower(l, b, method="auto")
+        assert id(l) not in tri._solver_cache  # dense path: no SuperLU built
+        set_dense_cutoff(0)
+        solve_lower(l, b, method="auto")
+        assert id(l) in tri._solver_cache  # superlu path: solver memoized
+    finally:
+        set_dense_cutoff(original)
+
+
+def test_measure_and_tune_dense_cutoff():
+    from repro.core.tuning import (
+        CrossoverPoint,
+        measure_dense_crossover,
+        pick_dense_cutoff,
+        tune_dense_cutoff,
+    )
+    from repro.sparse import get_dense_cutoff, set_dense_cutoff
+
+    points = measure_dense_crossover(sizes=(16, 64), n_rhs=2, repeats=1)
+    assert [p.n for p in points] == [16, 64]
+    assert all(p.dense_seconds > 0 and p.superlu_seconds > 0 for p in points)
+    # pick_dense_cutoff: largest dense-winning size, 0 when superlu always wins.
+    fake = [
+        CrossoverPoint(n=16, dense_seconds=1.0, superlu_seconds=2.0),
+        CrossoverPoint(n=64, dense_seconds=3.0, superlu_seconds=1.0),
+    ]
+    assert pick_dense_cutoff(fake) == 16
+    assert (
+        pick_dense_cutoff([CrossoverPoint(n=8, dense_seconds=2.0, superlu_seconds=1.0)])
+        == 0
+    )
+    # A noisy dense win above the true crossover must not drag the cutoff up.
+    noisy = fake + [CrossoverPoint(n=1024, dense_seconds=1.0, superlu_seconds=5.0)]
+    assert pick_dense_cutoff(noisy) == 16
+    original = get_dense_cutoff()
+    try:
+        measured = tune_dense_cutoff(sizes=(16, 32), n_rhs=2, repeats=1, apply=True)
+        assert get_dense_cutoff() == measured
+        assert tune_dense_cutoff(sizes=(16,), n_rhs=2, repeats=1, apply=False) >= 0
+        assert get_dense_cutoff() == measured  # apply=False leaves state alone
+    finally:
+        set_dense_cutoff(original)
