@@ -1,8 +1,9 @@
 """Batched numeric execution — grouped vs per-member wall clock.
 
 An 8x8 *floating* structured decomposition (64 subdomains, 9 exact
-fingerprint groups after canonicalization: 4 corners, 4 edge classes of 6,
-one interior class of 36) is assembled twice through the batch engine:
+fingerprint classes collapsed by orientation-canonical relabeling into 3
+executed groups: 4 corners, 24 edge members, one interior class of 36) is
+assembled twice through the batch engine:
 
 * ``execution="per-member"`` — each member pays its own sequence of small
   TRSM/SYRK kernel calls (the PR-1/2 behaviour), and
@@ -51,9 +52,10 @@ def test_grouped_execution_speedup(benchmark):
         # One retry damps scheduler noise on busy CI runners.
         per_member, grouped = _run(cells)
 
-    # Same population, same grouping, fully batched.
+    # Same population, same grouping, fully batched; mirror classes merged.
     assert grouped.stats.n_subdomains == 64
-    assert grouped.stats.n_groups == 9
+    assert grouped.stats.n_groups == 3
+    assert grouped.stats.n_exact_groups == 9
     assert grouped.stats.n_grouped == 64
 
     # Numerics: grouped == per-member at tight tolerance.

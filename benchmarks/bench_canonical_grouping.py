@@ -1,17 +1,23 @@
 """Canonical frames on a real structured grid — group count and time saved.
 
-Before this optimization the batch cache only paid off on replicated-input
-demos: on a *real* N x N grid decomposition, absolute node coordinates
-leaked into the fixing-DOF choice and the geometric nested dissection, so
-even translate-identical interior subdomains fingerprinted apart (observed:
-5x5 grid → 25 groups).  With the canonical local frame
-(:mod:`repro.sparse.canonical`) the 5x5 decomposition must collapse to the
-9 translate-classes exactly — all 9 interior subdomains in one group — and
-the orientation-invariant geometric fingerprint used by
-:func:`repro.feti.planner.plan_population` further merges mirror-identical
-boundary classes to at most 4 groups (interior / edge / corner on a square
-grid).  Assembled Schur complements stay numerically identical to the
-per-subdomain path.
+Two layers of canonicalization are measured on a floating N x N grid:
+
+* **Translation** (PR 2): absolute coordinates used to leak into the
+  fixing-DOF choice and the geometric nested dissection, so even
+  translate-identical interior subdomains fingerprinted apart (observed:
+  5x5 grid → 25 groups).  The canonical local frame collapses the 5x5
+  decomposition to its 9 translate-classes.
+* **Orientation** (this benchmark's headline): with the canonical
+  *relabeling* (:class:`repro.sparse.canonical.CanonicalRelabeling`)
+  threaded through factorization and the batch engine, mirror- and
+  rotation-identical classes share one artifact set and one stacked
+  numeric group — the 9 translate-classes **execute as 3 canonical
+  groups** (interior / edge / corner), the symbolic analysis is charged 3
+  times instead of 9, and every member's un-relabeled Schur complement
+  matches per-member assembly at tight tolerance.
+
+The CI ``bench`` job uploads the numbers (group counts, hit rate, analysis
+speedup) as the ``BENCH_<run_id>`` artifact; see ``docs/batching.md``.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import PAPER_SCALE
+
+RTOL, ATOL = 1e-9, 1e-10
 
 
 def _interior_indices(decomposition) -> list[int]:
@@ -41,96 +49,125 @@ def _build(n_grid: int, cells: int):
 
     problem = heat_transfer_2d(cells, dirichlet=())
     decomposition = decompose(problem, grid=(n_grid, n_grid))
-    items = items_from_decomposition(decomposition)
     cfg = default_config("gpu", 2)
-    cached = BatchAssembler(config=cfg).assemble_batch(items)
-    baseline = BatchAssembler(config=cfg, cache=PatternCache(max_entries=0)).assemble_batch(
+    # Orientation-canonical items: mirror classes share artifacts + groups.
+    items = items_from_decomposition(decomposition)
+    canonical = BatchAssembler(config=cfg).assemble_batch(items, execution="grouped")
+    # Translation-only baseline: the PR-2 behaviour (9 executed groups).
+    items_exact = items_from_decomposition(decomposition, canonicalize=False)
+    exact = BatchAssembler(config=cfg).assemble_batch(items_exact, execute=False)
+    # No-cache baseline: every member pays its own symbolic analysis.
+    nocache = BatchAssembler(config=cfg, cache=PatternCache(max_entries=0)).assemble_batch(
         items, execute=False
     )
-    return decomposition, items, cached, baseline
+    return decomposition, items, canonical, exact, nocache
 
 
 def test_canonical_grouping_5x5(benchmark):
     n_grid, cells = (5, 40) if PAPER_SCALE else (5, 20)
-    decomposition, items, cached, baseline = benchmark.pedantic(
+    decomposition, items, canonical, exact, nocache = benchmark.pedantic(
         lambda: _build(n_grid, cells), rounds=1, iterations=1
     )
     n = decomposition.n_subdomains
     assert n == n_grid * n_grid
 
-    # The 25 subdomains collapse to the 9 translate-classes of a 5x5 grid.
-    assert cached.stats.n_groups == 9
-    assert cached.stats.hits == n - 9 and cached.stats.misses == 9
+    # Translation-only: the 25 subdomains collapse to the 9 translate-classes.
+    assert exact.stats.n_groups == 9
 
-    # All 9 interior subdomains share one exact pattern group.
+    # Orientation-canonical sharing: 3 executed groups (interior/edge/corner),
+    # 6 mirror classes riding on another class's artifacts, 3 cache misses.
+    assert canonical.stats.n_groups == 3
+    assert canonical.stats.n_exact_groups == 9
+    assert canonical.stats.mirrors_shared == 6
+    assert canonical.stats.hits == n - 3 and canonical.stats.misses == 3
+    assert canonical.stats.n_grouped == n  # every member ran stacked
+    assert len(canonical.stats.group_launches) == 3
+
+    # All 9 interior subdomains form one canonical group of their own.
     interior = _interior_indices(decomposition)
     assert len(interior) == (n_grid - 2) ** 2
     interior_groups = [
         sorted(members)
-        for members in cached.groups.values()
+        for members in canonical.groups.values()
         if set(members) & set(interior)
     ]
     assert interior_groups == [sorted(interior)]
 
-    # Orientation canonicalization merges mirror-identical boundary classes:
-    # at most 4 geometric classes (interior/edge/corner on a square grid).
-    assert 0 < cached.stats.n_geometric_groups <= 4
-    assert cached.stats.n_geometric_groups <= cached.stats.n_groups
+    # The executed canonical groups coincide with the geometric classes.
+    assert canonical.stats.n_geometric_groups == 3
+    assert sorted(map(sorted, canonical.groups.values())) == sorted(
+        map(sorted, canonical.geometric_groups.values())
+    )
 
-    # plan_population groups by the geometric fingerprint when coords are given.
+    # plan_population groups the same way from the relabelings.
     from repro.feti.planner import plan_population
 
     pop = plan_population(
         [(it.factor, it.bt) for it in items],
         dim=2,
         expected_iterations=50,
-        coords=[it.coords for it in items],
+        relabelings=[it.relabeling for it in items],
     )
     assert pop.n_members == n
-    assert pop.n_groups == cached.stats.n_geometric_groups
+    assert pop.n_groups == 3
 
-    # Numerically identical to the per-subdomain path.
+    # Every member's un-relabeled SC matches per-member assembly (allclose —
+    # the shared stepped column order changes kernel association only).
     from repro.core import SchurAssembler, default_config
 
     ref = SchurAssembler(config=default_config("gpu", 2))
-    for it, res in zip(items, cached.results):
-        assert np.array_equal(res.f, ref.assemble(it.factor, it.bt).f)
+    for it, res in zip(items, canonical.results):
+        expect = ref.assemble(it.factor, it.bt).f
+        scale = max(1.0, float(np.abs(expect).max(initial=0.0)))
+        assert np.allclose(res.f, expect, rtol=RTOL, atol=ATOL * scale)
 
-    # The cache saves the de-duplicated symbolic analysis time.
-    saved = baseline.stats.analysis_seconds - cached.stats.analysis_seconds
+    # End-to-end: orientation sharing charges the symbolic analysis 3x
+    # instead of 9x — at least a 2x analysis-time speedup over the
+    # translation-only run, and the cache saves time vs no cache at all.
+    analysis_speedup = exact.stats.analysis_seconds / canonical.stats.analysis_seconds
+    assert analysis_speedup >= 2.0, f"analysis speedup only {analysis_speedup:.2f}x"
+    saved = nocache.stats.analysis_seconds - canonical.stats.analysis_seconds
     assert saved > 0
-    assert cached.stats.analysis_seconds_saved > 0
+    assert canonical.stats.analysis_seconds_saved > 0
 
     benchmark.extra_info["n_subdomains"] = n
-    benchmark.extra_info["n_groups"] = cached.stats.n_groups
-    benchmark.extra_info["n_geometric_groups"] = cached.stats.n_geometric_groups
+    benchmark.extra_info["n_groups"] = canonical.stats.n_groups
+    benchmark.extra_info["n_exact_groups"] = canonical.stats.n_exact_groups
+    benchmark.extra_info["n_geometric_groups"] = canonical.stats.n_geometric_groups
     benchmark.extra_info["n_plan_groups"] = pop.n_groups
-    benchmark.extra_info["hit_rate"] = cached.stats.hit_rate
-    benchmark.extra_info["analysis_saved_s"] = cached.stats.analysis_seconds_saved
+    benchmark.extra_info["hit_rate"] = canonical.stats.hit_rate
+    benchmark.extra_info["analysis_saved_s"] = canonical.stats.analysis_seconds_saved
+    benchmark.extra_info["canonical_analysis_speedup"] = analysis_speedup
 
     print()
     print(f"{n_grid}x{n_grid} grid, {cells}x{cells} cells")
-    print(cached.stats.summary())
-    print(f"baseline analysis:  {baseline.stats.analysis_seconds * 1e3:.3f} ms")
-    print(f"analysis saved:     {saved * 1e3:.3f} ms")
+    print(canonical.stats.summary())
+    print(f"translation-only analysis: {exact.stats.analysis_seconds * 1e3:.3f} ms "
+          f"({exact.stats.n_groups} groups)")
+    print(f"no-cache analysis:         {nocache.stats.analysis_seconds * 1e3:.3f} ms")
+    print(f"canonical analysis:        {canonical.stats.analysis_seconds * 1e3:.3f} ms "
+          f"({analysis_speedup:.2f}x vs translation-only)")
 
 
 def test_canonical_grouping_scales_with_grid(benchmark):
-    """Group count stays at the 9 translate-classes as the grid grows, so the
-    hit rate climbs towards 1 with the population size."""
+    """Executed group count stays at the 3 canonical classes as the grid
+    grows, so the hit rate climbs towards 1 with the population size."""
     n_grid, cells = (7, 28) if PAPER_SCALE else (6, 24)
 
     def run():
-        _, _, cached, _ = _build(n_grid, cells)
-        return cached
+        _, _, canonical, exact, _ = _build(n_grid, cells)
+        return canonical, exact
 
-    cached = benchmark.pedantic(run, rounds=1, iterations=1)
+    canonical, exact = benchmark.pedantic(run, rounds=1, iterations=1)
     n = n_grid * n_grid
-    assert cached.stats.n_subdomains == n
-    assert cached.stats.n_groups == 9
-    assert cached.stats.hit_rate == (n - 9) / n
+    assert canonical.stats.n_subdomains == n
+    assert canonical.stats.n_groups == 3
+    assert canonical.stats.n_exact_groups == 9
+    assert exact.stats.n_groups == 9
+    assert canonical.stats.hit_rate == (n - 3) / n
     benchmark.extra_info["n_subdomains"] = n
-    benchmark.extra_info["n_groups"] = cached.stats.n_groups
-    benchmark.extra_info["hit_rate"] = cached.stats.hit_rate
+    benchmark.extra_info["n_groups"] = canonical.stats.n_groups
+    benchmark.extra_info["n_exact_groups"] = canonical.stats.n_exact_groups
+    benchmark.extra_info["hit_rate"] = canonical.stats.hit_rate
     print()
-    print(cached.stats.summary())
+    print(canonical.stats.summary())

@@ -13,7 +13,10 @@ Commands
     pattern cache (``repro.batch``) and report cache/throughput statistics
     plus the multi-stream pipeline makespan.  ``--execution`` selects the
     numeric path (per-member kernels vs batched whole-group kernels);
-    ``--workers`` fans independent groups across host threads.
+    ``--workers`` fans independent groups across host threads;
+    ``--no-canonicalize`` turns off orientation-canonical artifact sharing
+    (mirror classes then execute as separate groups).  The knobs are
+    documented in ``docs/batching.md``.
 """
 
 from __future__ import annotations
@@ -87,7 +90,7 @@ def _cmd_batch(args) -> int:
         problem = heat_transfer_3d(args.cells, dirichlet=dirichlet)
     grid = tuple(int(g) for g in args.grid.split("x"))
     decomposition = decompose(problem, grid=grid)
-    items = items_from_decomposition(decomposition)
+    items = items_from_decomposition(decomposition, canonicalize=not args.no_canonicalize)
     cache = PatternCache(max_entries=0) if args.no_cache else PatternCache()
     config = default_config(args.device, args.dim)
     if args.device == "gpu":
@@ -165,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
         "--floating",
         action="store_true",
         help="no Dirichlet boundary: every subdomain floats (maximal grouping)",
+    )
+    p_batch.add_argument(
+        "--no-canonicalize",
+        action="store_true",
+        help="disable orientation-canonical artifact sharing (mirror classes "
+        "then execute as separate groups)",
     )
 
     args = parser.parse_args(argv)

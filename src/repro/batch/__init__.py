@@ -7,6 +7,15 @@ whole batches with one symbolic analysis per group
 (:mod:`repro.batch.engine`), and report throughput / hit-rate / time-saved
 statistics (:mod:`repro.batch.stats`).  Priced batch work plugs straight
 into the multi-stream scheduler of :mod:`repro.runtime`.
+
+Grouping happens at the *canonical-class* level by default: items built by
+:func:`repro.batch.engine.items_from_decomposition` carry a
+:class:`repro.sparse.canonical.CanonicalRelabeling`, so mirror- and
+rotation-identical subdomains share one cache entry and one stacked
+numeric group, and their Schur complements are mapped back to each
+member's own multiplier order on the way out.  ``docs/batching.md``
+documents the whole stack; ``docs/architecture.md`` places it in the
+system.
 """
 
 from repro.batch.cache import CacheStats, PatternCache, SymbolicArtifacts

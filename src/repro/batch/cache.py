@@ -8,6 +8,13 @@ per-stage cost estimate and the device-memory estimate.  All of it is pure
 pattern data, so any subdomain with the same fingerprint can reuse the
 entry verbatim; the cache tracks hits, misses and LRU evictions so the
 batch statistics can report the reuse achieved.
+
+When the engine groups by *canonical-class* keys (items carrying a
+:class:`~repro.sparse.canonical.CanonicalRelabeling`), one entry serves
+every member of a whole orientation class — mirror- and rotation-identical
+subdomains included — because the key hashes the *relabeled* patterns and
+each member's relabeling is the invertible bridge between the shared
+artifacts and its own DOF/multiplier order.  See ``docs/batching.md``.
 """
 
 from __future__ import annotations

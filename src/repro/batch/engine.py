@@ -19,6 +19,16 @@ The simulated win is the host-side symbolic analysis: charged once per
 distinct pattern instead of once per subdomain (CHOLMOD-style supernodal
 reuse, "performed once, reused across repeated numeric factorizations").
 
+Items that carry a :class:`~repro.sparse.canonical.CanonicalRelabeling`
+(built by :func:`items_from_decomposition` with ``canonicalize=True``, the
+default) group by the **canonical-class** key instead of the raw exact
+key: mirror- and rotation-identical subdomains — factorized in the shared
+canonical orientation frame — collide on purpose, share one artifact set,
+stack into one batched numeric group, and have their Schur complements
+mapped back to each member's own multiplier order on the way out
+(``relabeling.unapply_sc``).  A floating 5x5 grid drops from 9 executed
+groups to 3; see ``docs/batching.md`` for the full mechanism.
+
 Numeric execution comes in three modes (``execution=``):
 
 * ``"per-member"`` (default) — one :meth:`SchurAssembler.assemble` per item,
@@ -47,7 +57,11 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.batch.cache import PatternCache, SymbolicArtifacts
-from repro.batch.fingerprint import factor_fingerprint, geometric_fingerprint
+from repro.batch.fingerprint import (
+    factor_fingerprint,
+    geometric_fingerprint,
+    pattern_digest,
+)
 from repro.batch.stats import BatchStats
 from repro.core.assembler import SchurAssembler, SchurAssemblyResult, prepare_pattern
 from repro.core.config import AssemblyConfig
@@ -58,6 +72,7 @@ from repro.gpu.runtime import Executor
 from repro.gpu.spec import A100_40GB, EPYC_7763_CORE, PCIE4_X16, DeviceSpec, TransferSpec
 from repro.runtime.pipeline import PipelineResult, SubdomainWork, run_preprocessing_pipeline
 from repro.runtime.scheduler import host_worker_count
+from repro.sparse.canonical import CanonicalRelabeling
 from repro.sparse.cholesky import CholeskyFactor
 from repro.sparse.symbolic import symbolic_from_factor
 from repro.util import require
@@ -86,12 +101,21 @@ class BatchItem:
     the engine additionally reports the coarser translation/orientation-
     invariant geometric grouping alongside the exact pattern groups (see
     :func:`repro.batch.fingerprint.geometric_fingerprint`).
+
+    *relabeling* — a :class:`~repro.sparse.canonical.CanonicalRelabeling`
+    matching *factor* (i.e. the factor was built in the canonical frame,
+    :func:`repro.feti.operator.factorize_subdomain` with the same
+    relabeling) — switches the item to canonical-class grouping: its
+    gluing columns are canonicalized for the fingerprint and the executed
+    numerics, and the assembled SC is mapped back to the original
+    multiplier order before it is returned.
     """
 
     factor: CholeskyFactor
     bt: sp.spmatrix
     label: str | None = None
     coords: np.ndarray | None = None
+    relabeling: "CanonicalRelabeling | None" = None
 
 
 @dataclass
@@ -100,11 +124,16 @@ class BatchResult:
 
     ``results[i]`` corresponds to the i-th input item (``None`` entries when
     the batch was planned without execution); ``work[i]`` is its priced
-    preprocessing; ``groups`` maps fingerprint keys to member indices and
-    ``artifacts`` to the shared pattern artifacts.  ``geometric_groups``
-    maps geometric fingerprint keys to member indices for the items that
-    carried coordinates (empty otherwise) — the symmetry classes a
-    structured decomposition's members fall into.
+    preprocessing; ``groups`` maps the *executed* fingerprint keys
+    (canonical-class keys for items carrying a relabeling) to member
+    indices and ``artifacts`` to the shared pattern artifacts.
+    ``exact_groups`` holds the finer raw-pattern grouping (no column
+    canonicalization) — the groups the batch would have executed without
+    orientation-canonical sharing; for items without a relabeling the two
+    coincide.  ``geometric_groups`` maps geometric fingerprint keys to
+    member indices for the items that carried coordinates (empty
+    otherwise) — the symmetry classes a structured decomposition's members
+    fall into.
     """
 
     results: list[SchurAssemblyResult | None]
@@ -112,6 +141,7 @@ class BatchResult:
     stats: BatchStats
     groups: dict[str, list[int]]
     artifacts: dict[str, SymbolicArtifacts]
+    exact_groups: dict[str, list[int]]
     geometric_groups: dict[str, list[int]]
 
     @property
@@ -226,6 +256,12 @@ class BatchAssembler:
     def spec(self) -> DeviceSpec:
         return self.assembler.spec
 
+    def _fingerprint_extra(self) -> str:
+        """Configuration/device identity mixed into every cache key."""
+        return (
+            f"{self.config.describe()}|{self.assembler.spec!r}|{self.assembler.transfer!r}"
+        )
+
     def analyze(
         self,
         factor: CholeskyFactor,
@@ -238,11 +274,11 @@ class BatchAssembler:
         assembly configuration *and* the device/transfer identity: cached
         estimates are priced on a specific roofline, so one cache can be
         shared across engines with different configs or specs safely.
-        *bt_rows* accepts a precomputed ``bt.tocsr()[factor.perm]``.
+        *bt_rows* accepts a precomputed ``bt.tocsr()[factor.perm]`` — with
+        its columns additionally in canonical order when the caller shares
+        artifacts across a canonical class.
         """
-        extra = (
-            f"{self.config.describe()}|{self.assembler.spec!r}|{self.assembler.transfer!r}"
-        )
+        extra = self._fingerprint_extra()
         if bt_rows is None:
             bt_rows = bt.tocsr()[factor.perm].tocsc()  # permute once, share
         fp = factor_fingerprint(factor, bt, extra=extra, bt_rows=bt_rows)
@@ -318,6 +354,7 @@ class BatchAssembler:
         # --- analysis phase: fingerprint, cache, price ----------------------
         work: list[SubdomainWork] = []
         groups: dict[str, list[int]] = {}
+        exact_groups: dict[str, list[int]] = {}
         geometric_groups: dict[str, list[int]] = {}
         artifacts: dict[str, SymbolicArtifacts] = {}
         bt_rows_all: list[sp.csc_matrix | None] = []
@@ -325,9 +362,19 @@ class BatchAssembler:
         saved = 0.0
         for idx, item in enumerate(norm):
             require(sp.issparse(item.bt), f"item {idx}: bt must be sparse")
+            rel = item.relabeling
+            if rel is not None:
+                require(
+                    rel.n_dofs == item.factor.n and rel.n_cols == item.bt.shape[1],
+                    f"item {idx}: relabeling does not match factor/bt shapes",
+                )
             # One row permutation per item, shared by the fingerprint, the
-            # artifact build (on a miss) and the executed numerics.
-            bt_rows = item.bt.tocsr()[item.factor.perm].tocsc()
+            # artifact build (on a miss) and the executed numerics.  With a
+            # relabeling the gluing columns additionally go to canonical
+            # order: mirror-identical members then present bit-equal
+            # patterns and land in one shared (executable) group.
+            bt_perm = item.bt.tocsr()[item.factor.perm].tocsc()
+            bt_rows = bt_perm[:, rel.col_perm] if rel is not None else bt_perm
             # Retain the copy only when the deferred execution phase will
             # consume it (grouped/auto); streamed and plan-only runs drop it.
             bt_rows_all.append(bt_rows if execute and not stream else None)
@@ -335,6 +382,17 @@ class BatchAssembler:
             key = art.fingerprint.key
             groups.setdefault(key, []).append(idx)
             artifacts[key] = art
+            if rel is None:
+                exact_key = key
+            else:
+                # The grouping the run would have had without orientation-
+                # canonical sharing: same factor pattern, original column
+                # order.  The canonical key already pins pattern(L) (and the
+                # canonical column order is a pure function of the raw
+                # pattern), so appending the raw permuted-gluing digest
+                # yields the identical partition without re-hashing L.
+                exact_key = f"{key}|{pattern_digest(bt_perm)}"
+            exact_groups.setdefault(exact_key, []).append(idx)
             if item.coords is not None:
                 geo = geometric_fingerprint(item.coords, item.bt, tolerance=self.tolerance)
                 geometric_groups.setdefault(geo.key, []).append(idx)
@@ -444,11 +502,19 @@ class BatchAssembler:
             execute_seconds += time.perf_counter() - exec_t0
         if execute and norm:
             launches = ex.ledger.total.launches - base_launches
+            # Canonical-class members assembled against canonically ordered
+            # gluing columns: reindex each SC back to its own multiplier
+            # order (pure host-side gather, exact inverse of the column
+            # relabeling).
+            for idx, item in enumerate(norm):
+                if item.relabeling is not None and results[idx] is not None:
+                    results[idx].f = item.relabeling.unapply_sc(results[idx].f)
 
         after = self.cache.stats
         stats = BatchStats(
             n_subdomains=len(norm),
             n_groups=len(groups),
+            n_exact_groups=len(exact_groups),
             n_geometric_groups=len(geometric_groups),
             hits=after.hits - before.hits,
             misses=after.misses - before.misses,
@@ -471,6 +537,7 @@ class BatchAssembler:
             stats=stats,
             groups=groups,
             artifacts=artifacts,
+            exact_groups=exact_groups,
             geometric_groups=geometric_groups,
         )
 
@@ -502,6 +569,8 @@ def items_from_decomposition(
     ordering: str = "nd",
     engine: str = "superlu",
     conform: bool = True,
+    canonicalize: bool = True,
+    tolerance: float | None = None,
 ) -> list[BatchItem]:
     """Factorize every subdomain of a :class:`~repro.dd.decomposition.Decomposition`
     into :class:`BatchItem` inputs — the dd → batch bridge.
@@ -511,18 +580,40 @@ def items_from_decomposition(
     through :func:`repro.feti.operator.factorize_subdomain`, whose
     canonical-frame ordering and symbolic-conformed factor structure make
     translate-identical subdomains hit the same pattern-cache entry.
+
+    With *canonicalize* (the default) each subdomain additionally gets a
+    :class:`~repro.sparse.canonical.CanonicalRelabeling` and is factorized
+    in its canonical *orientation* frame: mirror- and rotation-identical
+    subdomains then share one cache entry and one batched numeric group
+    (the 9 translate-classes of a floating grid collapse to 3).  Disable it
+    to reproduce the translation-only grouping.  *tolerance* overrides the
+    relabeling's relative coordinate quantum.
     """
     from repro.feti.operator import factorize_subdomain
+    from repro.sparse.canonical import DEFAULT_TOLERANCE, canonical_relabeling
 
-    return [
-        BatchItem(
-            factor=factorize_subdomain(sub, ordering=ordering, engine=engine, conform=conform),
-            bt=sub.bt,
-            label=f"sub{sub.index}",
-            coords=sub.coords,
+    tol = DEFAULT_TOLERANCE if tolerance is None else tolerance
+    items = []
+    for sub in decomposition.subdomains:
+        rel = None
+        if canonicalize and sub.bt is not None:
+            rel = canonical_relabeling(sub.coords, k=sub.k, bt=sub.bt, tolerance=tol)
+        items.append(
+            BatchItem(
+                factor=factorize_subdomain(
+                    sub,
+                    ordering=ordering,
+                    engine=engine,
+                    conform=conform,
+                    relabeling=rel,
+                ),
+                bt=sub.bt,
+                label=f"sub{sub.index}",
+                coords=sub.coords,
+                relabeling=rel,
+            )
         )
-        for sub in decomposition.subdomains
-    ]
+    return items
 
 
 __all__ = [

@@ -27,8 +27,17 @@ Three granularities:
   (:func:`repro.sparse.canonical.canonical_signature`).  The coarsest key:
   mirror- and rotation-identical subdomains (the corner/edge classes of a
   structured grid) collapse together.  Safe for *pricing* — isomorphic
-  patterns cost the same — but not for exact artifact reuse, where column
-  order matters; used by :func:`repro.feti.planner.plan_population`.
+  patterns cost the same — and used by
+  :func:`repro.feti.planner.plan_population`.
+
+Exact sharing *across* mirror classes is the job of
+:class:`repro.sparse.canonical.CanonicalRelabeling`: passed to
+:func:`subdomain_fingerprint` / :func:`factor_fingerprint`, the patterns
+are relabeled into the canonical orientation frame before hashing, so the
+emitted key is the *canonical-class* key — mirror-identical subdomains
+collide on purpose, and the per-member relabeling is the invertible map
+that makes their cached artifacts transfer exactly (``docs/batching.md``
+walks through the mechanism).
 """
 
 from __future__ import annotations
@@ -89,6 +98,7 @@ def subdomain_fingerprint(
     extra: str = "",
     coords: np.ndarray | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
+    relabeling=None,
 ) -> Fingerprint:
     """Fingerprint a subdomain before factorization.
 
@@ -104,15 +114,30 @@ def subdomain_fingerprint(
     translate-identical subdomains still collapse, while subdomains whose
     patterns coincide by accident but whose geometry differs (and whose
     geometric ND permutations could therefore differ) stay apart.
+
+    With *relabeling* (a :class:`~repro.sparse.canonical.CanonicalRelabeling`)
+    the key becomes the **canonical-class** key: *k* and *bt* are relabeled
+    into the canonical orientation frame before hashing and the relabeling's
+    signature is mixed in, so mirror-identical subdomains — whose raw
+    patterns differ — fingerprint together, which is exactly when their
+    relabeled artifacts are interchangeable.
     """
     require(sp.issparse(k) and sp.issparse(bt), "k and bt must be sparse")
     require(k.shape[0] == bt.shape[0], "k and bt row counts differ")
+    if relabeling is not None:
+        k = relabeling.apply_matrix(k)
+        bt = relabeling.apply_bt(bt)
     h = hashlib.sha256()
     nnz = _update_pattern(h, k)
     _update_pattern(h, bt)
     h.update(ordering.encode())
     h.update(b"|")
-    if coords is not None:
+    if relabeling is not None:
+        h.update(relabeling.signature.encode())
+        h.update(b"|")
+    if coords is not None and relabeling is None:
+        # The relabeling signature already fixes the geometry; the raw frame
+        # digest is only translation-invariant and would split mirror classes.
         require(
             np.asarray(coords).shape[0] == k.shape[0],
             "coords must have one row per DOF",
@@ -128,6 +153,7 @@ def factor_fingerprint(
     bt: sp.spmatrix,
     extra: str = "",
     bt_rows: sp.spmatrix | None = None,
+    relabeling=None,
 ) -> Fingerprint:
     """Fingerprint a factorized subdomain (the batch engine's cache key).
 
@@ -149,12 +175,24 @@ def factor_fingerprint(
     cache can serve several assembly configurations).  *bt_rows* accepts a
     precomputed ``bt.tocsr()[factor.perm]`` so hot loops that need the
     permuted gluing anyway (the batch engine) don't permute twice.
+
+    With *relabeling* the key is the **canonical-class** key: the gluing
+    columns are put in canonical order before hashing, so mirror-identical
+    subdomains whose factors were built in the canonical frame
+    (:func:`repro.feti.operator.factorize_subdomain` with the same
+    relabeling) collide and share one artifact set — the per-member
+    ``relabeling.col_perm`` is the invertible map back to each member's
+    multiplier order.
     """
     require(sp.issparse(bt), "bt must be sparse")
     require(bt.shape[0] == factor.n, "bt row count must match factor order")
+    if bt_rows is None:
+        bt_rows = bt.tocsr()[factor.perm]
+        if relabeling is not None:
+            bt_rows = bt_rows.tocsc()[:, relabeling.col_perm]
     h = hashlib.sha256()
     nnz = _update_pattern(h, factor.l)
-    _update_pattern(h, bt.tocsr()[factor.perm] if bt_rows is None else bt_rows)
+    _update_pattern(h, bt_rows)
     h.update(extra.encode())
     return Fingerprint(key=h.hexdigest(), n=factor.n, m=bt.shape[1], nnz=nnz)
 

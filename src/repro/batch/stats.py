@@ -22,6 +22,14 @@ class BatchStats:
     is what the cache hits avoided — the no-cache baseline would have
     charged ``analysis_seconds + analysis_seconds_saved``.
 
+    ``n_groups`` counts the *executed* groups (canonical classes when the
+    items carry relabelings); ``n_exact_groups`` the finer raw-pattern
+    classes the run would have executed without orientation-canonical
+    sharing.  Their difference — :attr:`mirrors_shared` — is how many
+    mirror classes piggybacked on another class's artifacts (the 9 → 3
+    collapse of a floating 5x5 grid shows up as ``n_exact_groups=9,
+    n_groups=3, mirrors_shared=6``).
+
     The execution counters describe the *numeric* phase:
     ``execution`` is the requested mode (``"per-member"``/``"grouped"``/
     ``"auto"``), ``n_grouped`` how many members actually ran through the
@@ -34,6 +42,7 @@ class BatchStats:
 
     n_subdomains: int = 0
     n_groups: int = 0
+    n_exact_groups: int = 0
     n_geometric_groups: int = 0
     hits: int = 0
     misses: int = 0
@@ -55,6 +64,12 @@ class BatchStats:
         """Cache hit fraction over this batch (0.0 for an empty batch)."""
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
+
+    @property
+    def mirrors_shared(self) -> int:
+        """Mirror classes that reused another class's artifacts through a
+        canonical relabeling (exact classes minus executed groups)."""
+        return max(0, self.n_exact_groups - self.n_groups)
 
     @property
     def preprocessing_seconds(self) -> float:
@@ -83,6 +98,7 @@ class BatchStats:
         return BatchStats(
             n_subdomains=self.n_subdomains + other.n_subdomains,
             n_groups=self.n_groups + other.n_groups,
+            n_exact_groups=self.n_exact_groups + other.n_exact_groups,
             n_geometric_groups=self.n_geometric_groups + other.n_geometric_groups,
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
@@ -109,8 +125,14 @@ class BatchStats:
             if self.n_geometric_groups
             else ""
         )
+        exact = ""
+        if self.mirrors_shared:
+            exact = (
+                f" [{self.n_exact_groups} exact class(es); {self.mirrors_shared} "
+                f"mirror class(es) share artifacts via relabeling]"
+            )
         lines = [
-            f"subdomains:        {self.n_subdomains} in {self.n_groups} pattern group(s){geo}",
+            f"subdomains:        {self.n_subdomains} in {self.n_groups} pattern group(s){exact}{geo}",
             f"cache:             {self.hits} hits / {self.misses} misses "
             f"({self.hit_rate * 100.0:.1f}% hit rate, {self.evictions} evictions)",
             f"analysis:          {self.analysis_seconds * 1e3:.3f} ms charged, "

@@ -69,6 +69,7 @@ def factorize_subdomain(
     ordering: str = "nd",
     engine: str = "superlu",
     conform: bool = True,
+    relabeling=None,
 ) -> CholeskyFactor:
     """Factorize the (regularized) subdomain matrix with coordinates-aware
     nested dissection — the per-subdomain numerical factorization of §2.2.
@@ -78,13 +79,46 @@ def factorize_subdomain(
     permutation — together with the canonical-frame ordering this makes
     translate-identical subdomains factor-fingerprint identically (see
     :mod:`repro.sparse.canonical` and :mod:`repro.batch.fingerprint`).
+
+    With a :class:`~repro.sparse.canonical.CanonicalRelabeling` the whole
+    decision chain — fixing DOFs, regularization, fill-reducing ordering,
+    conformed factor extraction — runs in the *canonical orientation frame*
+    instead: relabeled mirror-identical subdomains see bit-equal inputs, so
+    every member of a canonical class produces the same stored ``L``
+    pattern and can share one set of batch artifacts
+    (see ``docs/batching.md``).  The returned factor's permutation is
+    composed back to original DOF indices, so it is a drop-in
+    factorization of the (canonically regularized) subdomain matrix —
+    ``factor.solve`` and :meth:`SchurAssembler.assemble
+    <repro.core.assembler.SchurAssembler.assemble>` work unchanged.
     """
-    return cholesky(
-        sub.regularized(),
-        ordering=ordering,
-        coords=sub.coords,
-        engine=engine,
-        conform=conform,
+    if relabeling is None:
+        return cholesky(
+            sub.regularized(),
+            ordering=ordering,
+            coords=sub.coords,
+            engine=engine,
+            conform=conform,
+        )
+    from repro.sparse import choose_fixing_dofs, regularize
+
+    require(
+        relabeling.n_dofs == sub.n_dofs,
+        "relabeling does not match the subdomain's DOF count",
+    )
+    k_c = relabeling.apply_matrix(sub.k)
+    coords_c = relabeling.coords()
+    if sub.floating:
+        fixing = choose_fixing_dofs(k_c, sub.kernel_dim, coords=coords_c)
+        k_c = regularize(k_c, fixing)
+    factor_c = cholesky(
+        k_c, ordering=ordering, coords=coords_c, engine=engine, conform=conform
+    )
+    return CholeskyFactor(
+        l=factor_c.l,
+        perm=relabeling.dof_perm[factor_c.perm],
+        flops=factor_c.flops,
+        engine=factor_c.engine,
     )
 
 

@@ -85,6 +85,7 @@ def plan_population(
     candidates: tuple[str, ...] = DEFAULT_CANDIDATES,
     coords: list | None = None,
     tolerance: float | None = None,
+    relabelings: list | None = None,
 ) -> PopulationPlan:
     """Plan approaches for a whole subdomain population.
 
@@ -102,6 +103,16 @@ def plan_population(
     depends on pattern shapes and sizes, which rigid symmetries preserve,
     so the coarser grouping is exact for planning purposes; a 5x5 grid
     collapses from 25 plans to the handful of boundary classes.
+
+    With *relabelings* — one
+    :class:`~repro.sparse.canonical.CanonicalRelabeling` (or ``None``) per
+    member, e.g. from the items of
+    :func:`repro.batch.engine.items_from_decomposition` — members group by
+    the relabeling signature instead, skipping the per-member orientation
+    search the geometric fingerprint repeats.  Those classes are not just
+    pricing-equivalent: they are the classes whose members *share exact
+    batch artifacts* (see ``docs/batching.md``), so the plan groups line up
+    one-to-one with the groups the batch engine will execute.
     """
     from repro.batch.fingerprint import factor_fingerprint, geometric_fingerprint
     from repro.sparse.canonical import DEFAULT_TOLERANCE
@@ -111,19 +122,26 @@ def plan_population(
             len(coords) == len(members),
             "coords must provide one coordinate array per member",
         )
+    if relabelings is not None:
+        require(
+            len(relabelings) == len(members),
+            "relabelings must provide one entry (or None) per member",
+        )
     tol = DEFAULT_TOLERANCE if tolerance is None else tolerance
     keys: list[str] = []
     group_plans: dict[str, Plan] = {}
     for i, (factor, bt) in enumerate(members):
-        if coords is not None:
-            fp = geometric_fingerprint(coords[i], bt, tolerance=tol)
+        if relabelings is not None and relabelings[i] is not None:
+            key = f"rel:{relabelings[i].signature}"
+        elif coords is not None:
+            key = f"geo:{geometric_fingerprint(coords[i], bt, tolerance=tol).key}"
         else:
-            fp = factor_fingerprint(factor, bt)
-        if fp.key not in group_plans:
-            group_plans[fp.key] = plan_approach(
+            key = f"fp:{factor_fingerprint(factor, bt).key}"
+        if key not in group_plans:
+            group_plans[key] = plan_approach(
                 factor, bt, dim, expected_iterations, candidates
             )
-        keys.append(fp.key)
+        keys.append(key)
     return PopulationPlan(keys=keys, group_plans=group_plans)
 
 

@@ -18,6 +18,11 @@ same FLOPs and memory traffic, but only **one** kernel launch — the cuBLAS
 ``*Batched`` pricing (see :meth:`~repro.gpu.costmodel.KernelCost.batched`).
 The batched TRSM is a blocked forward substitution: stacked ``(group, b, b)``
 diagonal solves via ``np.linalg.solve`` followed by broadcasted GEMM updates.
+
+The batched facade is what :meth:`repro.core.assembler.SchurAssembler.assemble_group`
+drives for one canonical class of subdomains; ``docs/batching.md``
+describes the grouped execution path end to end, ``docs/pipeline.md`` the
+per-kernel roles inside one assembly.
 """
 
 from __future__ import annotations

@@ -7,12 +7,16 @@ that the paper's FETI implementation builds on.
 
 from repro.sparse.canonical import (
     DEFAULT_TOLERANCE,
+    DEFAULT_VALUE_TOLERANCE,
     CanonicalFrame,
+    CanonicalRelabeling,
     canonical_coords,
     canonical_frame,
+    canonical_relabeling,
     canonical_signature,
     frame_digest,
     orientation_transforms,
+    quantize_pattern,
 )
 from repro.sparse.cholesky import (
     ENGINES,
@@ -68,12 +72,16 @@ from repro.sparse.triangular import (
 
 __all__ = [
     "DEFAULT_TOLERANCE",
+    "DEFAULT_VALUE_TOLERANCE",
     "CanonicalFrame",
+    "CanonicalRelabeling",
     "canonical_frame",
     "canonical_coords",
+    "canonical_relabeling",
     "canonical_signature",
     "frame_digest",
     "orientation_transforms",
+    "quantize_pattern",
     "conform_to_symbolic",
     "cholesky",
     "CholeskyFactor",

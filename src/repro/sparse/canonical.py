@@ -32,6 +32,17 @@ of a grid, say — also share a key.  That coarser key is what
 :func:`repro.feti.planner.plan_population` groups by: approach pricing only
 depends on patterns up to isomorphism, so reflected subdomains can share
 one plan even though their exact patterns differ.
+
+The strongest construct is :class:`CanonicalRelabeling`: an *invertible*
+map of a subdomain's DOFs (and gluing columns) into the canonical
+orientation frame.  Relabeled mirror-identical subdomains have bit-equal
+stiffness and gluing patterns, so the whole pattern-only analysis — fixing
+DOFs, fill-reducing ordering, symbolic factor, stepped permutation,
+pruning plan — done once in the canonical frame serves every member, and
+assembled Schur complements are mapped back to each member's original
+multiplier order by the inverse.  See ``docs/batching.md`` for how
+:mod:`repro.batch` threads the relabeling through its cache and the
+grouped executor.
 """
 
 from __future__ import annotations
@@ -41,6 +52,7 @@ import itertools
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.util import require
 
@@ -48,6 +60,15 @@ from repro.util import require
 #: ``tolerance * bounding_box_size / 2`` cannot split a group; geometric
 #: features closer together than the quantum are merged.
 DEFAULT_TOLERANCE = 1e-6
+
+#: Default relative *value* quantization used when canonicalizing matrix
+#: patterns: stored entries whose magnitude is at most
+#: ``value_tolerance * max|A|`` are treated as structural zeros.  The value
+#: analogue of the coordinate quantum — on a uniformly triangulated square,
+#: the cross-diagonal stiffness couplings cancel to 0.0 in some subdomains
+#: and to ~1e-17 roundoff in others, and only the quantized pattern is
+#: symmetric under the full orientation group.
+DEFAULT_VALUE_TOLERANCE = 1e-12
 
 
 @dataclass(frozen=True)
@@ -197,20 +218,10 @@ def canonical_signature(
     frame = canonical_frame(coords, tolerance)
     lat = frame.lattice
     n, d = lat.shape
-    if features is None:
-        feats = np.empty((n, 0), dtype=np.int64)
-    else:
-        feats = np.asarray(features, dtype=np.int64)
-        if feats.ndim == 1:
-            feats = feats[:, None]
-        require(feats.shape[0] == n, "features must have one row per point")
+    feats = _as_features(features, n)
     best: bytes | None = None
     for perm, signs in orientation_transforms(max(d, 1)) if d else [((), ())]:
-        pts = lat[:, perm] * np.asarray(signs, dtype=np.int64)
-        if n:
-            pts = pts - pts.min(axis=0)
-        rows = np.concatenate([pts, feats], axis=1)
-        order = np.lexsort(rows.T[::-1]) if rows.size else np.arange(n)
+        _, rows, order = _oriented_rows(lat, feats, perm, signs)
         cand = np.ascontiguousarray(rows[order]).tobytes()
         if best is None or cand < best:
             best = cand
@@ -221,12 +232,335 @@ def canonical_signature(
     return h.hexdigest()
 
 
+def _as_features(features: np.ndarray | None, n: int) -> np.ndarray:
+    """Normalize per-point integer labels to an ``(n, k)`` int64 array."""
+    if features is None:
+        return np.empty((n, 0), dtype=np.int64)
+    feats = np.asarray(features, dtype=np.int64)
+    if feats.ndim == 1:
+        feats = feats[:, None]
+    require(feats.shape[0] == n, "features must have one row per point")
+    return feats
+
+
+def _oriented_rows(
+    lattice: np.ndarray,
+    feats: np.ndarray,
+    perm: tuple[int, ...],
+    signs: tuple[int, ...],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lattice under one axis perm/flip, its labelled rows, and their lexsort.
+
+    Returns ``(pts, rows, order)``: the transformed lattice shifted back to a
+    zero minimum, the ``[pts | feats]`` row matrix, and the lexicographic
+    sort order of its rows (the candidate canonical DOF order).
+    """
+    n = lattice.shape[0]
+    pts = lattice[:, perm] * np.asarray(signs, dtype=np.int64)
+    if n:
+        pts = pts - pts.min(axis=0)
+    rows = np.concatenate([pts, feats], axis=1)
+    order = (
+        np.lexsort(rows.T[::-1]) if rows.size else np.arange(n, dtype=np.intp)
+    )
+    return pts, rows, np.asarray(order, dtype=np.intp)
+
+
+def quantize_pattern(
+    a: sp.spmatrix, value_tolerance: float = DEFAULT_VALUE_TOLERANCE
+) -> sp.csr_matrix:
+    """Stored pattern of *a* with below-tolerance entries treated as zeros.
+
+    Entries with ``|value| <= value_tolerance * max|A|`` are dropped — the
+    value analogue of the coordinate quantization above.  Needed because
+    assembled stiffness matrices carry *near*-structural zeros (couplings
+    that cancel analytically but evaluate to 0.0 in one subdomain and
+    ~1e-17 in its translate or mirror image); only the quantized pattern is
+    invariant under the rigid symmetries the relabeling searches over.
+    """
+    require(sp.issparse(a), "quantize_pattern needs a sparse matrix")
+    out = a.tocsr().copy()
+    if out.nnz:
+        scale = float(np.abs(out.data).max())
+        out.data[np.abs(out.data) <= value_tolerance * scale] = 0.0
+        out.eliminate_zeros()
+    return out
+
+
+def _pattern_bytes(a: sp.spmatrix) -> bytes:
+    ac = a.tocsc()
+    ac.sort_indices()
+    return b"".join(
+        np.ascontiguousarray(np.asarray(arr, dtype=np.int64)).tobytes() + b"|"
+        for arr in (np.asarray(ac.shape), ac.indptr, ac.indices)
+    )
+
+
+def _canonical_columns(bt_rows: sp.spmatrix) -> tuple[np.ndarray, bytes]:
+    """Canonical column order of a gluing matrix with relabeled rows.
+
+    Columns are sorted by ``(nnz, row-index sequence)`` — a total order that
+    depends only on which *canonical* DOF slots each column touches, so two
+    mirror-identical subdomains (whose relabeled row sets coincide) sort
+    their columns into bit-equal patterns.  Columns with identical patterns
+    (redundant multipliers on one DOF) keep their relative order; any
+    resolution of that tie yields the same pattern.  Returns the column
+    permutation (canonical position ``j`` holds original column
+    ``col_perm[j]``) and the sorted key bytes.
+    """
+    bc = bt_rows.tocsc()
+    bc.sort_indices()
+    m = bc.shape[1]
+    keys = []
+    for j in range(m):
+        rows = np.asarray(bc.indices[bc.indptr[j] : bc.indptr[j + 1]], dtype=">i8")
+        keys.append((rows.size, rows.tobytes()))
+    col_perm = np.asarray(sorted(range(m), key=keys.__getitem__), dtype=np.intp)
+    key_bytes = b"".join(keys[j][1] + b";" for j in col_perm)
+    return col_perm, key_bytes
+
+
+def _invert(perm: np.ndarray) -> np.ndarray:
+    inverse = np.empty(perm.size, dtype=np.intp)
+    inverse[perm] = np.arange(perm.size, dtype=np.intp)
+    return inverse
+
+
+@dataclass(frozen=True)
+class CanonicalRelabeling:
+    """Invertible map of one subdomain into its canonical orientation frame.
+
+    Chosen by minimizing, over every axis permutation and flip of the
+    canonical lattice, the byte string of the labelled point set, the
+    relabeled (quantized) stiffness pattern, and the canonical gluing
+    column keys — so two subdomains share a ``signature`` exactly when some
+    rigid lattice symmetry maps one labelled structure onto the other, and
+    equal signatures guarantee bit-equal *relabeled* patterns.
+
+    Conventions (all "canonical ← original"):
+
+    * ``dof_perm[k]`` is the original DOF sitting at canonical slot ``k``;
+      ``apply_matrix``/``apply_bt``/``apply_vector`` reindex rows with it.
+    * ``col_perm[j]`` is the original gluing column at canonical column
+      ``j``; :meth:`unapply_sc` undoes it on an assembled Schur complement.
+
+    Attributes
+    ----------
+    signature:
+        Orientation-canonical class digest (the shared-artifact cache key
+        component; see :func:`repro.batch.fingerprint.factor_fingerprint`).
+    axis_perm / axis_signs:
+        The minimizing axis permutation and flips.
+    dof_perm / col_perm:
+        The DOF and gluing-column relabelings (canonical ← original).
+    lattice:
+        ``(n, d)`` canonical-oriented integer lattice in relabeled row
+        order — the geometry every decision in the canonical frame sees.
+    tolerance / value_tolerance:
+        The coordinate and value quanta the relabeling was built with.
+    """
+
+    signature: str
+    axis_perm: tuple[int, ...]
+    axis_signs: tuple[int, ...]
+    dof_perm: np.ndarray
+    col_perm: np.ndarray
+    lattice: np.ndarray
+    tolerance: float
+    value_tolerance: float
+
+    def __post_init__(self) -> None:
+        require(
+            np.array_equal(np.sort(self.dof_perm), np.arange(self.dof_perm.size)),
+            "dof_perm must be a permutation",
+        )
+        require(
+            np.array_equal(np.sort(self.col_perm), np.arange(self.col_perm.size)),
+            "col_perm must be a permutation",
+        )
+        require(
+            self.lattice.shape[0] == self.dof_perm.size,
+            "lattice must have one row per DOF",
+        )
+
+    @property
+    def n_dofs(self) -> int:
+        return int(self.dof_perm.size)
+
+    @property
+    def n_cols(self) -> int:
+        return int(self.col_perm.size)
+
+    @property
+    def is_identity(self) -> bool:
+        """True when both relabelings are the identity (already canonical)."""
+        n, m = self.n_dofs, self.n_cols
+        return bool(
+            np.array_equal(self.dof_perm, np.arange(n))
+            and np.array_equal(self.col_perm, np.arange(m))
+        )
+
+    def dof_inverse(self) -> np.ndarray:
+        """``dof_inverse()[i]`` is the canonical slot of original DOF *i*."""
+        return _invert(self.dof_perm)
+
+    def col_inverse(self) -> np.ndarray:
+        """``col_inverse()[j]`` is the canonical position of original column *j*."""
+        return _invert(self.col_perm)
+
+    def coords(self) -> np.ndarray:
+        """Float canonical coordinates (relabeled row order, O(1) magnitude).
+
+        The drop-in replacement for the subdomain's coordinates inside the
+        canonical-frame factorization: bit-identical across every member of
+        the canonical class, so fixing-DOF and ordering decisions coincide.
+        """
+        return self.lattice.astype(np.float64) * self.tolerance
+
+    def apply_matrix(self, k: sp.spmatrix, quantize: bool = True) -> sp.csr_matrix:
+        """Relabel a DOF-indexed square matrix into the canonical frame.
+
+        With *quantize* (default) below-tolerance entries are dropped first
+        (:func:`quantize_pattern`) so the relabeled pattern matches the one
+        the signature minimized over — required for exact sharing.
+        """
+        require(sp.issparse(k), "k must be sparse")
+        require(k.shape == (self.n_dofs, self.n_dofs), "k shape mismatch")
+        kk = quantize_pattern(k, self.value_tolerance) if quantize else k.tocsr()
+        return kk[self.dof_perm][:, self.dof_perm].tocsr()
+
+    def apply_bt(self, bt: sp.spmatrix) -> sp.csc_matrix:
+        """Relabel a gluing matrix: canonical DOF rows, canonical columns."""
+        require(sp.issparse(bt), "bt must be sparse")
+        require(bt.shape == (self.n_dofs, self.n_cols), "bt shape mismatch")
+        return bt.tocsr()[self.dof_perm].tocsc()[:, self.col_perm]
+
+    def apply_vector(self, v: np.ndarray) -> np.ndarray:
+        """Reindex a DOF vector into the canonical frame."""
+        return np.asarray(v)[self.dof_perm]
+
+    def unapply_vector(self, v: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`apply_vector`."""
+        v = np.asarray(v)
+        out = np.empty_like(v)
+        out[self.dof_perm] = v
+        return out
+
+    def unapply_sc(self, f: np.ndarray) -> np.ndarray:
+        """Map an assembled SC from canonical back to original column order.
+
+        The exact inverse of assembling against ``bt[:, col_perm]``: entry
+        ``(i, j)`` of the canonical result describes the original multiplier
+        pair ``(col_perm[i], col_perm[j])``.  A pure host-side reindex — the
+        values are untouched, so the result is bit-equal to assembling the
+        un-relabeled columns up to kernel association order.
+        """
+        f = np.asarray(f)
+        m = self.n_cols
+        require(f.shape == (m, m), "f must be (n_cols, n_cols)")
+        out = np.empty_like(f)
+        out[np.ix_(self.col_perm, self.col_perm)] = f
+        return out
+
+
+def canonical_relabeling(
+    coords: np.ndarray,
+    k: sp.spmatrix | None = None,
+    bt: sp.spmatrix | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    value_tolerance: float = DEFAULT_VALUE_TOLERANCE,
+) -> CanonicalRelabeling:
+    """Build the :class:`CanonicalRelabeling` of one subdomain.
+
+    Enumerates every orientation transform of the canonical lattice and
+    picks the one minimizing the concatenated byte string of
+
+    1. the lexsorted labelled point set (coordinates + per-DOF gluing
+       multiplicity — the :func:`canonical_signature` candidate),
+    2. the relabeled pattern of the quantized stiffness *k* (when given —
+       triangulated meshes have adjacency the point set alone cannot see),
+    3. the canonical gluing-column keys of *bt* (when given).
+
+    The minimum is the class representative: members of one canonical class
+    relabel onto bit-equal structures, members of different classes cannot
+    collide.  DOFs that remain indistinguishable (same lattice point, same
+    labels — e.g. vector components at one node) keep their original
+    relative order, which can conservatively split a class but never
+    corrupts results: sharing is gated downstream by the *exact* relabeled
+    fingerprint.
+
+    Exactness caveat: flips act on the *quantized* lattice, so two mirror
+    images relabel onto bit-equal structures only when the lattice itself
+    is mirror-symmetric — every per-axis extent an integral number of
+    quanta, which uniform structured subdomains satisfy.  Lattices that
+    quantize asymmetrically (e.g. interior points at thirds of the scale)
+    split into finer classes; again conservative, never wrong.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim == 1:
+        coords = coords[:, None]
+    frame = canonical_frame(coords, tolerance)
+    lat = frame.lattice
+    n, d = lat.shape
+    multiplicity = None
+    kq = None
+    btr = None
+    if bt is not None:
+        require(sp.issparse(bt), "bt must be sparse")
+        require(bt.shape[0] == n, "bt must have one row per DOF")
+        btr = bt.tocsr()
+        multiplicity = np.asarray(btr.getnnz(axis=1), dtype=np.int64)
+    if k is not None:
+        require(sp.issparse(k), "k must be sparse")
+        require(k.shape == (n, n), "k must be square with one row per DOF")
+        kq = quantize_pattern(k, value_tolerance)
+    feats = _as_features(multiplicity, n)
+
+    best = None
+    for perm, signs in orientation_transforms(max(d, 1)) if d else [((), ())]:
+        pts, rows, order = _oriented_rows(lat, feats, perm, signs)
+        cand = np.ascontiguousarray(rows[order]).tobytes()
+        cp = np.empty(0, dtype=np.intp)
+        if kq is not None:
+            cand += b"#" + _pattern_bytes(kq[order][:, order])
+        if btr is not None:
+            cp, col_bytes = _canonical_columns(btr[order])
+            cand += b"#" + col_bytes
+        if best is None or cand < best[0]:
+            best = (cand, perm, signs, order, pts[order], cp)
+
+    cand, axis_perm, axis_signs, dof_perm, lattice, col_perm = best
+    h = hashlib.sha256()
+    h.update(
+        np.asarray(
+            [n, d, feats.shape[1], int(k is not None), int(bt is not None)],
+            dtype=np.int64,
+        ).tobytes()
+    )
+    h.update(b"|")
+    h.update(cand)
+    return CanonicalRelabeling(
+        signature=h.hexdigest(),
+        axis_perm=tuple(int(p) for p in axis_perm),
+        axis_signs=tuple(int(s) for s in axis_signs),
+        dof_perm=dof_perm,
+        col_perm=col_perm,
+        lattice=lattice,
+        tolerance=tolerance,
+        value_tolerance=value_tolerance,
+    )
+
+
 __all__ = [
     "DEFAULT_TOLERANCE",
+    "DEFAULT_VALUE_TOLERANCE",
     "CanonicalFrame",
+    "CanonicalRelabeling",
     "canonical_frame",
     "canonical_coords",
+    "canonical_relabeling",
     "frame_digest",
     "orientation_transforms",
     "canonical_signature",
+    "quantize_pattern",
 ]

@@ -10,7 +10,11 @@ the host-side analogue of the stacked device buffers a cuBLAS ``*Batched``
 kernel consumes.
 
 Everything here is numerics-only; cost accounting lives with the batched
-kernels in :mod:`repro.gpu.kernels`.
+kernels in :mod:`repro.gpu.kernels`.  With orientation-canonical
+relabeling (:class:`repro.sparse.canonical.CanonicalRelabeling`) the
+members stacked here can come from *different mirror classes* — their
+relabeled patterns are bit-equal, which :meth:`StackedCSC.from_matrices`
+validates entry-for-entry.  See ``docs/batching.md``.
 """
 
 from __future__ import annotations

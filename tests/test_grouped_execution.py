@@ -194,11 +194,18 @@ def test_engine_parallel_workers_match_serial(floating_4x4):
     assert parallel.stats.kernel_launches == serial.stats.kernel_launches
 
 
-def test_engine_auto_threshold(floating_4x4):
-    """auto batches only groups of >= GROUPED_AUTO_THRESHOLD members; the
-    4x4 floating grid has a 4-member interior group and smaller ones."""
+def test_engine_auto_threshold():
+    """auto batches only groups of >= GROUPED_AUTO_THRESHOLD members; with
+    canonical sharing disabled, the 4x4 floating grid keeps its exact
+    translate-classes — a 4-member interior group and smaller ones (the
+    canonical classes would all clear the threshold)."""
+    from repro.dd import decompose
+    from repro.fem import heat_transfer_2d
+
+    problem = heat_transfer_2d(16, dirichlet=())
+    items = items_from_decomposition(decompose(problem, grid=(4, 4)), canonicalize=False)
     cfg = default_config("gpu", 2)
-    auto = BatchAssembler(config=cfg).assemble_batch(floating_4x4, execution="auto")
+    auto = BatchAssembler(config=cfg).assemble_batch(items, execution="auto")
     sizes = sorted(len(v) for v in auto.groups.values())
     expected = sum(s for s in sizes if s >= GROUPED_AUTO_THRESHOLD)
     assert auto.stats.n_grouped == expected
