@@ -35,7 +35,14 @@ _LAZY = {
     "baseline_config": ("repro.core", "baseline_config"),
     "heat_transfer_2d": ("repro.fem", "heat_transfer_2d"),
     "heat_transfer_3d": ("repro.fem", "heat_transfer_3d"),
+    "heat_problem": ("repro.fem", "heat_problem"),
     "decompose": ("repro.dd", "decompose"),
+    "make_mesh": ("repro.part", "make_mesh"),
+    "jittered_square_mesh": ("repro.part", "jittered_square_mesh"),
+    "lshape_mesh": ("repro.part", "lshape_mesh"),
+    "strip_with_holes_mesh": ("repro.part", "strip_with_holes_mesh"),
+    "partition_mesh": ("repro.part", "partition_mesh"),
+    "PartitionResult": ("repro.part", "PartitionResult"),
     "FetiSolver": ("repro.feti", "FetiSolver"),
     "solve_feti": ("repro.feti", "solve_feti"),
     "make_workload": ("repro.bench", "make_workload"),

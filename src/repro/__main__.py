@@ -15,8 +15,12 @@ Commands
     numeric path (per-member kernels vs batched whole-group kernels);
     ``--workers`` fans independent groups across host threads;
     ``--no-canonicalize`` turns off orientation-canonical artifact sharing
-    (mirror classes then execute as separate groups).  The knobs are
-    documented in ``docs/batching.md``.
+    (mirror classes then execute as separate groups).  ``--mesh`` picks an
+    unstructured mesh-zoo workload, ``--partitioner`` swaps the box grid
+    for the METIS-like dual-graph partitioner (``--parts``/``--seed``
+    parameterize it) and ``--signature near`` prices approximately-
+    congruent subdomains together.  The knobs are documented in
+    ``docs/batching.md`` and ``docs/unstructured.md``.
 """
 
 from __future__ import annotations
@@ -78,25 +82,58 @@ def _cmd_solve(args) -> int:
 
 
 def _cmd_batch(args) -> int:
+    import numpy as np
+
     from repro.batch import BatchAssembler, PatternCache, items_from_decomposition
     from repro.core import default_config
     from repro.dd import decompose
-    from repro.fem import heat_transfer_2d, heat_transfer_3d
+    from repro.fem import heat_problem, heat_transfer_2d, heat_transfer_3d
+    from repro.part import MESH_ZOO, make_mesh
 
     dirichlet = () if args.floating else ("left",)
-    if args.dim == 2:
+    mesh_name = args.mesh or ("square" if (args.dim or 2) == 2 else "cube")
+    mesh_dim, _ = MESH_ZOO[mesh_name]
+    if args.dim is not None and args.dim != mesh_dim:
+        raise ValueError(
+            f"--dim {args.dim} contradicts --mesh {mesh_name} "
+            f"(a {mesh_dim}-D mesh); drop --dim or pick a matching mesh"
+        )
+    if args.parts and args.partitioner == "boxes":
+        raise ValueError(
+            "--parts only applies to graph partitioners; use --grid for "
+            "--partitioner boxes, or pick --partitioner rcb/spectral"
+        )
+    if mesh_name == "square":
         problem = heat_transfer_2d(args.cells, dirichlet=dirichlet)
-    else:
+    elif mesh_name == "cube":
         problem = heat_transfer_3d(args.cells, dirichlet=dirichlet)
+    else:
+        problem = heat_problem(
+            make_mesh(mesh_name, args.cells, seed=args.seed), dirichlet=dirichlet
+        )
     grid = tuple(int(g) for g in args.grid.split("x"))
-    decomposition = decompose(problem, grid=grid)
+    if args.partitioner == "boxes":
+        decomposition = decompose(problem, grid=grid)
+    else:
+        n_parts = args.parts if args.parts else int(np.prod(grid))
+        decomposition = decompose(
+            problem,
+            n_subdomains=n_parts,
+            partitioner=args.partitioner,
+            seed=args.seed,
+        )
+        print(f"partition:         {decomposition.partition.summary()}")
     items = items_from_decomposition(decomposition, canonicalize=not args.no_canonicalize)
     cache = PatternCache(max_entries=0) if args.no_cache else PatternCache()
-    config = default_config(args.device, args.dim)
+    config = default_config(args.device, mesh_dim)
     if args.device == "gpu":
-        engine = BatchAssembler(config=config, cache=cache)
+        engine = BatchAssembler(
+            config=config, cache=cache, signature_mode=args.signature
+        )
     else:
-        engine = BatchAssembler.for_cpu(config=config, cache=cache)
+        engine = BatchAssembler.for_cpu(
+            config=config, cache=cache, signature_mode=args.signature
+        )
     batch = engine.assemble_batch(
         items,
         execute=not args.estimate_only,
@@ -138,7 +175,13 @@ def main(argv: list[str] | None = None) -> int:
     p_batch = sub.add_parser(
         "batch", help="batch-assemble a decomposition through the pattern cache"
     )
-    p_batch.add_argument("--dim", type=int, default=2, choices=(2, 3))
+    p_batch.add_argument(
+        "--dim",
+        type=int,
+        default=None,
+        choices=(2, 3),
+        help="space dimension (default 2; must match --mesh when both given)",
+    )
     p_batch.add_argument("--cells", type=int, default=24, help="mesh cells per axis")
     p_batch.add_argument("--grid", default="3x3", help="subdomain grid, e.g. 4x4 or 2x2x2")
     p_batch.add_argument("--device", default="gpu", choices=("gpu", "cpu"))
@@ -174,6 +217,42 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable orientation-canonical artifact sharing (mirror classes "
         "then execute as separate groups)",
+    )
+    p_batch.add_argument(
+        "--mesh",
+        default=None,
+        choices=("square", "cube", "jittered", "lshape", "strip"),
+        help="mesh-zoo workload (default: square/cube per --dim); jittered/"
+        "lshape/strip are the 2-D unstructured meshes of repro.part.meshes",
+    )
+    p_batch.add_argument(
+        "--partitioner",
+        default="boxes",
+        choices=("boxes", "rcb", "spectral"),
+        help="element partitioner: structured box grid (default) or the "
+        "METIS-like dual-graph partitioner (coordinate/spectral bisection "
+        "+ boundary refinement)",
+    )
+    p_batch.add_argument(
+        "--parts",
+        type=int,
+        default=0,
+        help="subdomain count for graph partitioners (0 = product of --grid)",
+    )
+    p_batch.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed of the jittered mesh generator (lshape/strip are "
+        "deterministic; the partitioner records it for provenance)",
+    )
+    p_batch.add_argument(
+        "--signature",
+        default="frame",
+        choices=("frame", "rotation", "near"),
+        help="geometric pricing-signature mode: canonical frame (structured "
+        "grids), rotation-invariant, or near-match (unstructured "
+        "decompositions; groups approximately-congruent subdomains)",
     )
 
     args = parser.parse_args(argv)

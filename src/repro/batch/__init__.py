@@ -31,10 +31,14 @@ from repro.batch.engine import (
     symbolic_analysis_cost,
 )
 from repro.batch.fingerprint import (
+    SIGNATURE_MODES,
     Fingerprint,
     factor_fingerprint,
     geometric_fingerprint,
+    geometric_fingerprint_for,
+    near_fingerprint,
     pattern_digest,
+    rotation_fingerprint,
     subdomain_fingerprint,
 )
 from repro.batch.stats import BatchStats
@@ -51,10 +55,14 @@ __all__ = [
     "CacheStats",
     "SymbolicArtifacts",
     "Fingerprint",
+    "SIGNATURE_MODES",
     "pattern_digest",
     "subdomain_fingerprint",
     "factor_fingerprint",
     "geometric_fingerprint",
+    "geometric_fingerprint_for",
+    "near_fingerprint",
+    "rotation_fingerprint",
     "build_artifacts",
     "items_from_decomposition",
     "symbolic_analysis_cost",

@@ -58,8 +58,9 @@ import scipy.sparse as sp
 
 from repro.batch.cache import PatternCache, SymbolicArtifacts
 from repro.batch.fingerprint import (
+    SIGNATURE_MODES,
     factor_fingerprint,
-    geometric_fingerprint,
+    geometric_fingerprint_for,
     pattern_digest,
 )
 from repro.batch.stats import BatchStats
@@ -220,15 +221,46 @@ class BatchAssembler:
         cache: PatternCache | None = None,
         library: FactorizationLibrary = CHOLMOD,
         tolerance: float | None = None,
+        signature_mode: str = "frame",
+        near_size_tolerance: float | None = None,
+        near_shape_tolerance: float | None = None,
     ) -> None:
-        from repro.sparse.canonical import DEFAULT_TOLERANCE
+        from repro.sparse.canonical import (
+            DEFAULT_NEAR_SHAPE_TOLERANCE,
+            DEFAULT_NEAR_SIZE_TOLERANCE,
+            DEFAULT_TOLERANCE,
+        )
 
+        require(
+            signature_mode in SIGNATURE_MODES,
+            f"unknown signature mode {signature_mode!r}; choose from {SIGNATURE_MODES}",
+        )
         self.assembler = SchurAssembler(config=config, spec=spec, transfer=transfer)
         self.cache = cache if cache is not None else PatternCache()
         self.library = library
-        #: Relative quantization tolerance of the geometric grouping (for
-        #: items carrying coordinates); raise it for noisy mesh coordinates.
+        #: Relative coordinate quantum of the ``"frame"``/``"rotation"``
+        #: geometric grouping (for items carrying coordinates); raise it
+        #: for noisy mesh coordinates.  The lattice-free ``"near"`` mode is
+        #: parameterized by the two bucket widths below instead.
         self.tolerance = DEFAULT_TOLERANCE if tolerance is None else tolerance
+        #: Bucket widths of ``signature_mode="near"`` (see
+        #: :func:`repro.sparse.canonical.near_signature`).
+        self.near_size_tolerance = (
+            DEFAULT_NEAR_SIZE_TOLERANCE
+            if near_size_tolerance is None
+            else near_size_tolerance
+        )
+        self.near_shape_tolerance = (
+            DEFAULT_NEAR_SHAPE_TOLERANCE
+            if near_shape_tolerance is None
+            else near_shape_tolerance
+        )
+        #: Pricing-signature mode of the geometric grouping: ``"frame"``
+        #: (translation + axis perms/flips — structured grids),
+        #: ``"rotation"`` (adds free rotations) or ``"near"`` (approximate
+        #: congruence — the mode for METIS-like decompositions, where exact
+        #: classes are almost all singletons).
+        self.signature_mode = signature_mode
 
     @classmethod
     def for_cpu(
@@ -237,6 +269,9 @@ class BatchAssembler:
         cache: PatternCache | None = None,
         library: FactorizationLibrary = CHOLMOD,
         tolerance: float | None = None,
+        signature_mode: str = "frame",
+        near_size_tolerance: float | None = None,
+        near_shape_tolerance: float | None = None,
     ) -> "BatchAssembler":
         cpu = SchurAssembler.for_cpu(config=config)
         return cls(
@@ -246,6 +281,9 @@ class BatchAssembler:
             cache=cache,
             library=library,
             tolerance=tolerance,
+            signature_mode=signature_mode,
+            near_size_tolerance=near_size_tolerance,
+            near_shape_tolerance=near_shape_tolerance,
         )
 
     @property
@@ -394,7 +432,14 @@ class BatchAssembler:
                 exact_key = f"{key}|{pattern_digest(bt_perm)}"
             exact_groups.setdefault(exact_key, []).append(idx)
             if item.coords is not None:
-                geo = geometric_fingerprint(item.coords, item.bt, tolerance=self.tolerance)
+                geo = geometric_fingerprint_for(
+                    self.signature_mode,
+                    item.coords,
+                    item.bt,
+                    tolerance=self.tolerance,
+                    size_tolerance=self.near_size_tolerance,
+                    shape_tolerance=self.near_shape_tolerance,
+                )
                 geometric_groups.setdefault(geo.key, []).append(idx)
             if hit:
                 saved += art.analysis_seconds
@@ -516,6 +561,9 @@ class BatchAssembler:
             n_groups=len(groups),
             n_exact_groups=len(exact_groups),
             n_geometric_groups=len(geometric_groups),
+            n_singleton_groups=sum(
+                1 for members in groups.values() if len(members) == 1
+            ),
             hits=after.hits - before.hits,
             misses=after.misses - before.misses,
             evictions=after.evictions - before.evictions,
@@ -571,6 +619,7 @@ def items_from_decomposition(
     conform: bool = True,
     canonicalize: bool = True,
     tolerance: float | None = None,
+    rotations: bool = False,
 ) -> list[BatchItem]:
     """Factorize every subdomain of a :class:`~repro.dd.decomposition.Decomposition`
     into :class:`BatchItem` inputs — the dd → batch bridge.
@@ -587,7 +636,11 @@ def items_from_decomposition(
     subdomains then share one cache entry and one batched numeric group
     (the 9 translate-classes of a floating grid collapse to 3).  Disable it
     to reproduce the translation-only grouping.  *tolerance* overrides the
-    relabeling's relative coordinate quantum.
+    relabeling's relative coordinate quantum.  *rotations* extends the
+    canonical frame search from axis perms/flips to free rotations
+    (inertia-aligned; see :func:`repro.sparse.canonical.canonical_relabeling`)
+    — worthwhile on decompositions whose congruent subdomains appear at
+    arbitrary orientations.
     """
     from repro.feti.operator import factorize_subdomain
     from repro.sparse.canonical import DEFAULT_TOLERANCE, canonical_relabeling
@@ -597,7 +650,9 @@ def items_from_decomposition(
     for sub in decomposition.subdomains:
         rel = None
         if canonicalize and sub.bt is not None:
-            rel = canonical_relabeling(sub.coords, k=sub.k, bt=sub.bt, tolerance=tol)
+            rel = canonical_relabeling(
+                sub.coords, k=sub.k, bt=sub.bt, tolerance=tol, rotations=rotations
+            )
         items.append(
             BatchItem(
                 factor=factorize_subdomain(

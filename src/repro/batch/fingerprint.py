@@ -49,9 +49,13 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.sparse.canonical import (
+    DEFAULT_NEAR_SHAPE_TOLERANCE,
+    DEFAULT_NEAR_SIZE_TOLERANCE,
     DEFAULT_TOLERANCE,
     canonical_signature,
     frame_digest,
+    near_signature,
+    rotation_signature,
 )
 from repro.sparse.cholesky import CholeskyFactor
 from repro.sparse.symbolic import pattern_digest
@@ -231,10 +235,135 @@ def geometric_fingerprint(
     )
 
 
+def rotation_fingerprint(
+    coords: np.ndarray,
+    bt: sp.spmatrix,
+    tolerance: float = DEFAULT_TOLERANCE,
+    extra: str = "",
+) -> Fingerprint:
+    """Rotation-invariant pricing key (free rotations, not just axis flips).
+
+    The :func:`geometric_fingerprint` analogue built on
+    :func:`repro.sparse.canonical.rotation_signature`: coordinates are
+    inertia-aligned before the orientation minimization, so congruent
+    subdomains of a METIS-like decomposition share the key at *any*
+    orientation.  Same contract as the geometric key — members have
+    isomorphic-up-to-quantization patterns, safe for pricing, never for
+    exact artifact transfer.
+    """
+    require(sp.issparse(bt), "bt must be sparse")
+    coords = np.asarray(coords, dtype=np.float64)
+    require(coords.shape[0] == bt.shape[0], "coords must have one row per DOF")
+    multiplicity = np.asarray(bt.tocsr().getnnz(axis=1), dtype=np.int64)
+    h = hashlib.sha256()
+    h.update(rotation_signature(coords, multiplicity, tolerance).encode())
+    h.update(b"|")
+    _update(h, np.asarray([bt.shape[0], bt.shape[1], bt.nnz]))
+    h.update(extra.encode())
+    return Fingerprint(
+        key=h.hexdigest(), n=bt.shape[0], m=bt.shape[1], nnz=int(bt.nnz)
+    )
+
+
+def near_fingerprint(
+    coords: np.ndarray,
+    bt: sp.spmatrix,
+    size_tolerance: float = DEFAULT_NEAR_SIZE_TOLERANCE,
+    shape_tolerance: float = DEFAULT_NEAR_SHAPE_TOLERANCE,
+    extra: str = "",
+) -> Fingerprint:
+    """Near-match pricing key: approximately-congruent subdomains collide.
+
+    Built on :func:`repro.sparse.canonical.near_signature` — coarsely
+    quantized rigid-motion invariants of the glued point set — plus the
+    gluing size in the same logarithmic buckets (multiplier count and
+    nonzeros within ~*size_tolerance* share a bucket; hashing the raw
+    shape would re-split everything a balanced partitioner produces).
+
+    This is the unstructured-decomposition pricing key: exact and even
+    rotation-exact classes are almost all singletons there, but a balanced
+    METIS-like partition yields many subdomains of similar size and shape
+    whose preprocessing costs are near-identical — one plan and one cost
+    estimate per near class is the right spend.  Never use it to transfer
+    exact pattern artifacts; sharing those stays gated on the bitwise
+    :func:`factor_fingerprint`.
+    """
+    require(sp.issparse(bt), "bt must be sparse")
+    coords = np.asarray(coords, dtype=np.float64)
+    require(coords.shape[0] == bt.shape[0], "coords must have one row per DOF")
+    multiplicity = np.asarray(bt.tocsr().getnnz(axis=1), dtype=np.int64)
+    from repro.sparse.canonical import log_bucket
+
+    h = hashlib.sha256()
+    h.update(
+        near_signature(
+            coords,
+            multiplicity,
+            size_tolerance=size_tolerance,
+            shape_tolerance=shape_tolerance,
+        ).encode()
+    )
+    h.update(b"|")
+    _update(
+        h,
+        np.asarray(
+            [
+                log_bucket(float(bt.shape[1]), size_tolerance),
+                log_bucket(float(bt.nnz), size_tolerance),
+            ]
+        ),
+    )
+    h.update(extra.encode())
+    return Fingerprint(
+        key=h.hexdigest(), n=bt.shape[0], m=bt.shape[1], nnz=int(bt.nnz)
+    )
+
+
+#: Geometric pricing-signature modes accepted by
+#: :class:`repro.batch.engine.BatchAssembler` and
+#: :func:`repro.feti.planner.plan_population`: ``"frame"`` (translation +
+#: axis perms/flips), ``"rotation"`` (adds free rotations), ``"near"``
+#: (approximate congruence; coarse invariants).
+SIGNATURE_MODES = ("frame", "rotation", "near")
+
+
+def geometric_fingerprint_for(
+    mode: str,
+    coords: np.ndarray,
+    bt: sp.spmatrix,
+    tolerance: float = DEFAULT_TOLERANCE,
+    size_tolerance: float = DEFAULT_NEAR_SIZE_TOLERANCE,
+    shape_tolerance: float = DEFAULT_NEAR_SHAPE_TOLERANCE,
+    extra: str = "",
+) -> Fingerprint:
+    """Dispatch one of the three geometric pricing keys by *mode*.
+
+    *tolerance* (the coordinate quantum) parameterizes the two lattice
+    modes; the ``"near"`` mode is lattice-free and takes the bucket widths
+    *size_tolerance* / *shape_tolerance* instead.
+    """
+    require(mode in SIGNATURE_MODES, f"unknown signature mode {mode!r}")
+    if mode == "frame":
+        return geometric_fingerprint(coords, bt, tolerance=tolerance, extra=extra)
+    if mode == "rotation":
+        return rotation_fingerprint(coords, bt, tolerance=tolerance, extra=extra)
+    return near_fingerprint(
+        coords,
+        bt,
+        size_tolerance=size_tolerance,
+        shape_tolerance=shape_tolerance,
+        extra=extra,
+    )
+
+
 __all__ = [
     "Fingerprint",
+    "SIGNATURE_MODES",
     "pattern_digest",
     "subdomain_fingerprint",
     "factor_fingerprint",
     "geometric_fingerprint",
+    "geometric_fingerprint_for",
+    "near_fingerprint",
+    "rotation_fingerprint",
 ]

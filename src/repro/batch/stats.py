@@ -28,7 +28,11 @@ class BatchStats:
     sharing.  Their difference — :attr:`mirrors_shared` — is how many
     mirror classes piggybacked on another class's artifacts (the 9 → 3
     collapse of a floating 5x5 grid shows up as ``n_exact_groups=9,
-    n_groups=3, mirrors_shared=6``).
+    n_groups=3, mirrors_shared=6``).  ``n_singleton_groups`` counts the
+    executed groups with exactly one member — with
+    :attr:`members_per_group` and :attr:`singleton_share` it is the
+    grouping-efficiency report for unstructured decompositions, where
+    sharing is not free and a run needs to say how much it actually got.
 
     The execution counters describe the *numeric* phase:
     ``execution`` is the requested mode (``"per-member"``/``"grouped"``/
@@ -44,6 +48,7 @@ class BatchStats:
     n_groups: int = 0
     n_exact_groups: int = 0
     n_geometric_groups: int = 0
+    n_singleton_groups: int = 0
     hits: int = 0
     misses: int = 0
     evictions: int = 0
@@ -70,6 +75,22 @@ class BatchStats:
         """Mirror classes that reused another class's artifacts through a
         canonical relabeling (exact classes minus executed groups)."""
         return max(0, self.n_exact_groups - self.n_groups)
+
+    @property
+    def members_per_group(self) -> float:
+        """Mean members per executed pattern group — the sharing leverage.
+
+        1.0 means no two subdomains shared anything (every group a
+        singleton, the worst case of an unstructured decomposition);
+        structured grids reach ``n_subdomains / #classes``."""
+        return self.n_subdomains / self.n_groups if self.n_groups else 0.0
+
+    @property
+    def singleton_share(self) -> float:
+        """Fraction of executed groups with exactly one member."""
+        return (
+            self.n_singleton_groups / self.n_groups if self.n_groups else 0.0
+        )
 
     @property
     def preprocessing_seconds(self) -> float:
@@ -100,6 +121,7 @@ class BatchStats:
             n_groups=self.n_groups + other.n_groups,
             n_exact_groups=self.n_exact_groups + other.n_exact_groups,
             n_geometric_groups=self.n_geometric_groups + other.n_geometric_groups,
+            n_singleton_groups=self.n_singleton_groups + other.n_singleton_groups,
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             evictions=self.evictions + other.evictions,
@@ -131,8 +153,16 @@ class BatchStats:
                 f" [{self.n_exact_groups} exact class(es); {self.mirrors_shared} "
                 f"mirror class(es) share artifacts via relabeling]"
             )
+        grouping = ""
+        if self.n_groups:
+            grouping = (
+                f"grouping:          {self.members_per_group:.2f} member(s) per "
+                f"executed group, {self.singleton_share * 100.0:.0f}% singleton "
+                f"group(s) ({self.n_singleton_groups}/{self.n_groups})"
+            )
         lines = [
             f"subdomains:        {self.n_subdomains} in {self.n_groups} pattern group(s){exact}{geo}",
+            grouping,
             f"cache:             {self.hits} hits / {self.misses} misses "
             f"({self.hit_rate * 100.0:.1f}% hit rate, {self.evictions} evictions)",
             f"analysis:          {self.analysis_seconds * 1e3:.3f} ms charged, "
@@ -149,7 +179,7 @@ class BatchStats:
                 f"{self.kernel_launches} kernel launch(es), "
                 f"{self.execute_seconds * 1e3:.3f} ms host wall"
             )
-        return "\n".join(lines)
+        return "\n".join(line for line in lines if line)
 
 
 __all__ = ["BatchStats"]

@@ -29,6 +29,9 @@ class Decomposition:
     n_multipliers: int
     clusters: list[Cluster]
     gluing: str
+    #: Quality report of the graph partitioner (``None`` for box grids);
+    #: see :class:`repro.part.partitioner.PartitionResult`.
+    partition: object | None = None
 
     @property
     def n_subdomains(self) -> int:
@@ -73,20 +76,42 @@ def decompose(
     n_subdomains: int | None = None,
     n_clusters: int = 1,
     gluing: str = "redundant",
+    partitioner: str = "boxes",
+    seed: int = 0,
 ) -> Decomposition:
-    """Tear *problem* into box subdomains with Lagrange-multiplier gluing.
+    """Tear *problem* into subdomains with Lagrange-multiplier gluing.
 
-    Exactly one of *grid* / *n_subdomains* must be given.  Empty subdomains
-    (possible when the grid is finer than the mesh) are dropped.
+    Exactly one of *grid* / *n_subdomains* must be given.  With the default
+    ``partitioner="boxes"`` elements are binned on a regular box grid —
+    exact for structured box meshes; empty subdomains (possible when the
+    grid is finer than the mesh) are dropped.  ``partitioner="rcb"`` /
+    ``"spectral"`` instead run the METIS-like dual-graph partitioner of
+    :mod:`repro.part.partitioner` (recursive coordinate or spectral
+    bisection + boundary refinement) — the right choice for the
+    unstructured meshes of :mod:`repro.part.meshes` and non-rectangular
+    domains, where boxes would produce wildly unbalanced or disconnected
+    subdomains.  A *grid* given with a graph partitioner only sets the part
+    count (its product); the partition quality report lands in
+    ``Decomposition.partition``.
     """
     require(
         (grid is None) != (n_subdomains is None),
         "specify exactly one of grid= or n_subdomains=",
     )
     mesh = problem.mesh
-    if grid is None:
-        grid = subdomain_grid_for(n_subdomains, mesh.dim)
-    element_owner = partition_elements(mesh, grid)
+    partition_report = None
+    if partitioner == "boxes":
+        if grid is None:
+            grid = subdomain_grid_for(n_subdomains, mesh.dim)
+        element_owner = partition_elements(mesh, grid)
+    else:
+        from repro.part.partitioner import partition_mesh
+
+        n_parts = int(np.prod(grid)) if n_subdomains is None else n_subdomains
+        partition_report = partition_mesh(
+            mesh, n_parts, method=partitioner, seed=seed
+        )
+        element_owner = partition_report.owner
 
     subdomains: list[Subdomain] = []
     for sub_id in range(int(element_owner.max()) + 1 if element_owner.size else 0):
@@ -112,6 +137,7 @@ def decompose(
         n_multipliers=n_multipliers,
         clusters=clusters,
         gluing=gluing,
+        partition=partition_report,
     )
 
 

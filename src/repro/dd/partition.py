@@ -34,6 +34,15 @@ def partition_elements(mesh: Mesh, grid: tuple[int, ...]) -> np.ndarray:
     centroids = mesh.coords[mesh.elements].mean(axis=1)
     lo = mesh.coords.min(axis=0)
     hi = mesh.coords.max(axis=0)
+    for axis, g in enumerate(grid):
+        # A degenerate axis cannot be split: the span fallback below would
+        # silently collapse all g boxes onto box 0 and the caller would get
+        # g-fold fewer subdomains than requested.
+        require(
+            g == 1 or hi[axis] > lo[axis],
+            f"mesh is degenerate along axis {axis} (all coordinates equal); "
+            f"cannot split it into {g} boxes — use 1 for that axis",
+        )
     span = np.where(hi > lo, hi - lo, 1.0)
     rel = (centroids - lo) / span
     ids = np.zeros(mesh.n_elements, dtype=np.intp)

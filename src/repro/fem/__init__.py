@@ -10,7 +10,12 @@ from repro.fem.elasticity import (
     rigid_body_modes,
 )
 from repro.fem.element import p1_gradients, p1_load, p1_stiffness
-from repro.fem.heat_transfer import HeatProblem, heat_transfer_2d, heat_transfer_3d
+from repro.fem.heat_transfer import (
+    HeatProblem,
+    heat_problem,
+    heat_transfer_2d,
+    heat_transfer_3d,
+)
 from repro.fem.mesh import Mesh, unit_cube_mesh, unit_square_mesh
 
 __all__ = [
@@ -24,6 +29,7 @@ __all__ = [
     "assemble_load",
     "eliminate_dirichlet",
     "HeatProblem",
+    "heat_problem",
     "heat_transfer_2d",
     "heat_transfer_3d",
     "assemble_elasticity",

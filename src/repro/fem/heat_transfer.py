@@ -73,6 +73,24 @@ def heat_transfer_3d(
     return _build(mesh, dirichlet, conductivity, source)
 
 
+def heat_problem(
+    mesh: Mesh,
+    dirichlet: tuple[str, ...] = (),
+    conductivity: float = 1.0,
+    source: float = 1.0,
+) -> HeatProblem:
+    """Heat transfer on an arbitrary simplicial *mesh*.
+
+    The generic entry point behind :func:`heat_transfer_2d` /
+    :func:`heat_transfer_3d`, for meshes that are not the unit box — e.g.
+    the jittered / L-shaped / perforated meshes of :mod:`repro.part.meshes`
+    (whose extra ``"boundary"`` group constrains the whole boundary at
+    once).  *dirichlet* names boundary groups of the mesh; an empty tuple
+    gives the floating problem.
+    """
+    return _build(mesh, tuple(dirichlet), conductivity, source)
+
+
 def _build(
     mesh: Mesh,
     dirichlet: tuple[str, ...],
@@ -97,4 +115,4 @@ def _build(
     )
 
 
-__all__ = ["HeatProblem", "heat_transfer_2d", "heat_transfer_3d"]
+__all__ = ["HeatProblem", "heat_problem", "heat_transfer_2d", "heat_transfer_3d"]

@@ -86,6 +86,7 @@ def plan_population(
     coords: list | None = None,
     tolerance: float | None = None,
     relabelings: list | None = None,
+    signature: str = "frame",
 ) -> PopulationPlan:
     """Plan approaches for a whole subdomain population.
 
@@ -113,10 +114,25 @@ def plan_population(
     pricing-equivalent: they are the classes whose members *share exact
     batch artifacts* (see ``docs/batching.md``), so the plan groups line up
     one-to-one with the groups the batch engine will execute.
+
+    *signature* picks the geometric key used with *coords*: ``"frame"``
+    (default — translation + axis perms/flips, the structured-grid mode),
+    ``"rotation"`` (free rotations via inertia alignment) or ``"near"``
+    (approximately-congruent subdomains share a plan — the mode for
+    METIS-like decompositions, where the exact and frame classes are
+    almost all singletons and per-member planning is the dominant cost).
     """
-    from repro.batch.fingerprint import factor_fingerprint, geometric_fingerprint
+    from repro.batch.fingerprint import (
+        SIGNATURE_MODES,
+        factor_fingerprint,
+        geometric_fingerprint_for,
+    )
     from repro.sparse.canonical import DEFAULT_TOLERANCE
 
+    require(
+        signature in SIGNATURE_MODES,
+        f"unknown signature mode {signature!r}; choose from {SIGNATURE_MODES}",
+    )
     if coords is not None:
         require(
             len(coords) == len(members),
@@ -134,7 +150,8 @@ def plan_population(
         if relabelings is not None and relabelings[i] is not None:
             key = f"rel:{relabelings[i].signature}"
         elif coords is not None:
-            key = f"geo:{geometric_fingerprint(coords[i], bt, tolerance=tol).key}"
+            geo = geometric_fingerprint_for(signature, coords[i], bt, tolerance=tol)
+            key = f"{signature}:{geo.key}"
         else:
             key = f"fp:{factor_fingerprint(factor, bt).key}"
         if key not in group_plans:

@@ -6,8 +6,11 @@ that the paper's FETI implementation builds on.
 """
 
 from repro.sparse.canonical import (
+    DEFAULT_NEAR_SHAPE_TOLERANCE,
+    DEFAULT_NEAR_SIZE_TOLERANCE,
     DEFAULT_TOLERANCE,
     DEFAULT_VALUE_TOLERANCE,
+    INERTIA_GAP_TOLERANCE,
     CanonicalFrame,
     CanonicalRelabeling,
     canonical_coords,
@@ -15,8 +18,12 @@ from repro.sparse.canonical import (
     canonical_relabeling,
     canonical_signature,
     frame_digest,
+    inertia_alignment,
+    near_signature,
     orientation_transforms,
     quantize_pattern,
+    rotation_coords,
+    rotation_signature,
 )
 from repro.sparse.cholesky import (
     ENGINES,
@@ -73,6 +80,9 @@ from repro.sparse.triangular import (
 __all__ = [
     "DEFAULT_TOLERANCE",
     "DEFAULT_VALUE_TOLERANCE",
+    "DEFAULT_NEAR_SIZE_TOLERANCE",
+    "DEFAULT_NEAR_SHAPE_TOLERANCE",
+    "INERTIA_GAP_TOLERANCE",
     "CanonicalFrame",
     "CanonicalRelabeling",
     "canonical_frame",
@@ -80,8 +90,12 @@ __all__ = [
     "canonical_relabeling",
     "canonical_signature",
     "frame_digest",
+    "inertia_alignment",
+    "near_signature",
     "orientation_transforms",
     "quantize_pattern",
+    "rotation_coords",
+    "rotation_signature",
     "conform_to_symbolic",
     "cholesky",
     "CholeskyFactor",

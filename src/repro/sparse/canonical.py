@@ -80,7 +80,7 @@ class CanonicalFrame:
     origin:
         Per-axis minimum of the raw coordinates (the frame's anchor).
     quantum:
-        Lattice spacing in raw units (``tolerance * scale``).
+        Nominal lattice spacing in raw units (``tolerance * scale``).
     scale:
         Bounding-box size used to make the tolerance relative.
     tolerance:
@@ -88,6 +88,13 @@ class CanonicalFrame:
     lattice:
         ``(n, d)`` integer lattice coordinates — bit-identical for
         translate-identical point sets.
+    axis_quanta:
+        Per-axis lattice spacings actually used.  With extent snapping
+        (the default) each axis's quantum is adjusted so the axis extent
+        is an *integral* number of quanta — the symmetry-aware rounding
+        that keeps mirror images of the lattice bit-comparable even when
+        ``extent / quantum`` is fractional.  ``None`` on frames built with
+        ``snap_extents=False`` (every axis uses ``quantum``).
     """
 
     origin: np.ndarray
@@ -95,6 +102,7 @@ class CanonicalFrame:
     scale: float
     tolerance: float
     lattice: np.ndarray
+    axis_quanta: np.ndarray | None = None
 
     @property
     def n_points(self) -> int:
@@ -123,7 +131,9 @@ class CanonicalFrame:
 
 
 def canonical_frame(
-    coords: np.ndarray, tolerance: float = DEFAULT_TOLERANCE
+    coords: np.ndarray,
+    tolerance: float = DEFAULT_TOLERANCE,
+    snap_extents: bool = True,
 ) -> CanonicalFrame:
     """Map *coords* to their canonical local frame.
 
@@ -133,6 +143,19 @@ def canonical_frame(
     jitter a rigid translation introduces (relative error ``eps * |offset|``
     per coordinate), so two point sets that are translates of each other up
     to jitter far below the quantum produce bit-identical lattices.
+
+    With *snap_extents* (the default), each axis's quantum is additionally
+    snapped so the axis extent is an **integral** number of quanta
+    (``extent / round(extent / quantum)``).  A flip maps lattice value
+    ``l`` to ``N - l`` where ``N`` is the integral extent; when the raw
+    extent is fractional in quanta (``N + f``), a point at ``x`` and its
+    mirror image at ``extent - x`` round to values differing by the stray
+    fraction ``f``, so mirror-identical subdomains used to split into
+    separate conservative classes whenever their extents did not happen to
+    be integral.  Snapping rescales each axis by at most ``quantum / 2``
+    over the whole extent — far below what any downstream tie-break can
+    observe — and is the identity (up to float noise) on lattices whose
+    extents are already integral, such as uniform structured subdomains.
     """
     coords = np.asarray(coords, dtype=np.float64)
     if coords.ndim == 1:
@@ -152,13 +175,25 @@ def canonical_frame(
     rel = coords - origin
     scale = float(rel.max())
     quantum = tolerance * scale if scale > 0.0 else tolerance
-    lattice = np.round(rel / quantum).astype(np.int64)
+    axis_quanta = None
+    if snap_extents and scale > 0.0:
+        extents = rel.max(axis=0)
+        n_quanta = np.maximum(np.round(extents / quantum), 1.0)
+        # Snap only axes at least one quantum wide: a sub-quantum extent is
+        # (numerical) noise, and snapping to it would resolve that noise at
+        # full precision — sub-quantum axes keep the nominal quantum so
+        # jitter far below it still cannot split a class.
+        axis_quanta = np.where(extents >= quantum, extents / n_quanta, quantum)
+        lattice = np.round(rel / axis_quanta).astype(np.int64)
+    else:
+        lattice = np.round(rel / quantum).astype(np.int64)
     return CanonicalFrame(
         origin=origin,
         quantum=quantum,
         scale=scale,
         tolerance=tolerance,
         lattice=lattice,
+        axis_quanta=axis_quanta,
     )
 
 
@@ -200,6 +235,7 @@ def canonical_signature(
     coords: np.ndarray,
     features: np.ndarray | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
+    snap_extents: bool = True,
 ) -> str:
     """Orientation- and translation-invariant digest of labelled geometry.
 
@@ -215,7 +251,7 @@ def canonical_signature(
     of a structured grid are mirror images with isomorphic patterns, and
     isomorphic patterns cost the same.
     """
-    frame = canonical_frame(coords, tolerance)
+    frame = canonical_frame(coords, tolerance, snap_extents=snap_extents)
     lat = frame.lattice
     n, d = lat.shape
     feats = _as_features(features, n)
@@ -285,6 +321,203 @@ def quantize_pattern(
         out.data[np.abs(out.data) <= value_tolerance * scale] = 0.0
         out.eliminate_zeros()
     return out
+
+
+#: Relative eigen-gap of the inertia spectrum below which the PCA alignment
+#: refuses to rotate: degenerate principal directions are numerically
+#: arbitrary, and rotating into them would *split* classes that the
+#: axis-aligned frame keeps together (an isotropic structured subdomain is
+#: the common case).  Falling back to the identity is always conservative.
+INERTIA_GAP_TOLERANCE = 1e-6
+
+#: Near-match mode defaults: relative width of the logarithmic size buckets
+#: (DOF / multiplier / nonzero counts) and the quantization step of the
+#: dimensionless shape invariants (inertia fractions, radial histogram).
+DEFAULT_NEAR_SIZE_TOLERANCE = 0.1
+DEFAULT_NEAR_SHAPE_TOLERANCE = 0.35
+
+
+def inertia_alignment(
+    coords: np.ndarray, gap_tolerance: float = INERTIA_GAP_TOLERANCE
+) -> np.ndarray | None:
+    """Principal axes of the centred point cloud, or ``None`` when unstable.
+
+    Columns of the returned ``(d, d)`` orthogonal matrix are the inertia
+    eigenvectors in order of *descending* moment.  ``None`` is returned
+    when any relative eigen-gap falls below *gap_tolerance* (degenerate
+    spectra make the eigenvectors arbitrary — e.g. any axis-isotropic point
+    set) or when the cloud has no spatial extent; callers then keep the
+    axis-aligned frame.  Two congruent point clouds have identically
+    degenerate spectra, so the rotate/don't-rotate decision itself is
+    rotation-invariant.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim == 1:
+        coords = coords[:, None]
+    n, d = coords.shape
+    if n == 0 or d < 2:
+        return None
+    centred = coords - coords.mean(axis=0)
+    cov = centred.T @ centred / n
+    moments, axes = np.linalg.eigh(cov)
+    order = np.argsort(moments)[::-1]
+    moments = moments[order]
+    axes = axes[:, order]
+    top = float(moments[0])
+    if top <= 0.0:
+        return None
+    gaps = (moments[:-1] - moments[1:]) / top
+    if np.any(gaps < gap_tolerance):
+        return None
+    return axes
+
+
+def rotation_coords(
+    coords: np.ndarray, gap_tolerance: float = INERTIA_GAP_TOLERANCE
+) -> tuple[np.ndarray, bool]:
+    """Centred coordinates in the inertia-aligned frame.
+
+    Returns ``(aligned, rotated)``: with a stable inertia spectrum the
+    cloud is centred at its centroid and rotated onto its principal axes
+    (moment-descending), so free rotations of the input produce outputs
+    equal up to per-axis sign — exactly the ambiguity the downstream
+    flip/permutation minimization resolves.  With a degenerate spectrum the
+    input is returned unrotated (``rotated=False``).
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim == 1:
+        coords = coords[:, None]
+    axes = inertia_alignment(coords, gap_tolerance)
+    if axes is None:
+        return coords, False
+    return (coords - coords.mean(axis=0)) @ axes, True
+
+
+def rotation_signature(
+    coords: np.ndarray,
+    features: np.ndarray | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    gap_tolerance: float = INERTIA_GAP_TOLERANCE,
+) -> str:
+    """Rotation-, translation- and flip-invariant digest of labelled geometry.
+
+    The PCA/inertia extension of :func:`canonical_signature`: coordinates
+    are first rotated into the inertia-aligned frame (stable spectra only;
+    see :func:`inertia_alignment`), then quantized and minimized over axis
+    permutations and flips exactly like the axis-aligned signature — the
+    lexicographic minimization doubles as the distance-multiset tie-break
+    (sorted lattice rows *are* the labelled point multiset).  The quantized
+    distance-from-centroid multiset is mixed into the hash as an extra
+    congruence invariant.
+
+    Two subdomains share this key exactly when a rigid motion (translation
+    + free rotation + reflection) maps one quantized labelled point set
+    onto the other — the signature a METIS-like decomposition needs, where
+    congruent subdomains show up at arbitrary orientations.  Like the
+    axis-aligned signature it is safe for *pricing* only; exact artifact
+    sharing stays gated on bitwise relabeled-pattern equality.
+    """
+    aligned, rotated = rotation_coords(coords, gap_tolerance)
+    frame = canonical_frame(aligned, tolerance)
+    lat = frame.lattice
+    n, d = lat.shape
+    feats = _as_features(features, n)
+    best: bytes | None = None
+    for perm, signs in orientation_transforms(max(d, 1)) if d else [((), ())]:
+        _, rows, order = _oriented_rows(lat, feats, perm, signs)
+        cand = np.ascontiguousarray(rows[order]).tobytes()
+        if best is None or cand < best:
+            best = cand
+    centred = aligned - aligned.mean(axis=0) if n else aligned
+    radii = np.linalg.norm(centred, axis=1) if n else np.empty(0)
+    quantum = frame.quantum if frame.scale > 0.0 else tolerance
+    radius_multiset = np.sort(np.round(radii / quantum).astype(np.int64))
+    h = hashlib.sha256()
+    h.update(
+        np.asarray([n, d, feats.shape[1], int(rotated)], dtype=np.int64).tobytes()
+    )
+    h.update(b"|rot|")
+    h.update(best if best is not None else b"")
+    h.update(b"|")
+    h.update(radius_multiset.tobytes())
+    return h.hexdigest()
+
+
+def log_bucket(value: float, tolerance: float) -> int:
+    """Index of the logarithmic bucket of width ``1 + tolerance`` holding
+    *value* (relative quantization: values within ~*tolerance* share it)."""
+    if value <= 0.0:
+        return -1
+    return int(np.round(np.log(value) / np.log1p(tolerance)))
+
+
+def near_signature(
+    coords: np.ndarray,
+    features: np.ndarray | None = None,
+    size_tolerance: float = DEFAULT_NEAR_SIZE_TOLERANCE,
+    shape_tolerance: float = DEFAULT_NEAR_SHAPE_TOLERANCE,
+    radial_bins: int = 4,
+) -> str:
+    """Near-match pricing key: groups *approximately* congruent point sets.
+
+    Unlike the exact signatures, nothing here is a lattice — the key is a
+    vector of coarsely quantized rigid-motion invariants:
+
+    * the point count in logarithmic buckets of relative width
+      *size_tolerance* (a balanced partitioner's subdomains differ by a few
+      per cent in size and must not split on that),
+    * the normalized inertia moments (shape anisotropy) quantized in steps
+      of *shape_tolerance*,
+    * a *radial_bins*-bin histogram of centroid distances (normalized by
+      the RMS radius), fractions quantized in steps of *shape_tolerance*,
+    * the labelled fraction and mean label of *features* (e.g. gluing
+      multiplicity), quantized likewise.
+
+    Everything is normalized, so the key is invariant under translation,
+    rotation, reflection **and scaling** — correct for pricing, where cost
+    depends on pattern sizes and shapes, not on physical units.  Members of
+    a near class have *similar*, not equal, patterns: use it to share
+    approach plans and cost estimates across a METIS-like decomposition
+    (where exact classes are almost all singletons), never to transfer
+    exact pattern artifacts.  Two nearly identical subdomains straddling a
+    bucket boundary may still split — the grouping is a heuristic upper
+    bound on sharing, tuned by the two tolerances.
+    """
+    require(size_tolerance > 0.0, "size_tolerance must be > 0")
+    require(shape_tolerance > 0.0, "shape_tolerance must be > 0")
+    require(radial_bins >= 0, "radial_bins must be >= 0")
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim == 1:
+        coords = coords[:, None]
+    n, d = coords.shape
+    feats = _as_features(features, n)
+    key: list[int] = [d, feats.shape[1], log_bucket(float(n), size_tolerance)]
+    if n:
+        centred = coords - coords.mean(axis=0)
+        cov = centred.T @ centred / n
+        moments = np.sort(np.linalg.eigvalsh(cov))[::-1]
+        trace = float(moments.sum())
+        if trace > 0.0:
+            key.extend(int(np.round(m / trace / shape_tolerance)) for m in moments)
+        radii = np.linalg.norm(centred, axis=1)
+        rms = float(np.sqrt(np.mean(radii**2)))
+        if rms > 0.0 and radial_bins:
+            spread = radii / rms
+            hist, _ = np.histogram(spread, bins=radial_bins, range=(0.0, 2.0))
+            key.extend(int(np.round(f / shape_tolerance)) for f in hist / n)
+            key.append(int(np.round(float(spread.max()) / shape_tolerance)))
+        if feats.size:
+            labelled = feats != 0
+            key.append(
+                int(np.round(float(labelled.any(axis=1).mean()) / shape_tolerance))
+            )
+            key.append(
+                log_bucket(float(np.abs(feats).sum()) / n, size_tolerance)
+            )
+    h = hashlib.sha256()
+    h.update(np.asarray(key, dtype=np.int64).tobytes())
+    h.update(b"|near|")
+    return h.hexdigest()
 
 
 def _pattern_bytes(a: sp.spmatrix) -> bytes:
@@ -469,6 +702,7 @@ def canonical_relabeling(
     bt: sp.spmatrix | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
     value_tolerance: float = DEFAULT_VALUE_TOLERANCE,
+    rotations: bool = False,
 ) -> CanonicalRelabeling:
     """Build the :class:`CanonicalRelabeling` of one subdomain.
 
@@ -491,14 +725,25 @@ def canonical_relabeling(
 
     Exactness caveat: flips act on the *quantized* lattice, so two mirror
     images relabel onto bit-equal structures only when the lattice itself
-    is mirror-symmetric — every per-axis extent an integral number of
-    quanta, which uniform structured subdomains satisfy.  Lattices that
-    quantize asymmetrically (e.g. interior points at thirds of the scale)
-    split into finer classes; again conservative, never wrong.
+    is mirror-symmetric — the extent snapping of :func:`canonical_frame`
+    guarantees integral per-axis extents, so the remaining conservative
+    splits come from points landing exactly between lattice sites.
+
+    With *rotations* the lattice is built in the inertia-aligned frame
+    (:func:`rotation_coords`) before the orientation search, extending the
+    canonical classes from axis permutations/flips to free rotations —
+    congruent subdomains of a METIS-like decomposition relabel together
+    regardless of orientation.  Point sets with degenerate inertia spectra
+    (structured boxes) keep the axis-aligned frame, so the option is safe
+    to leave on for mixed populations; it defaults to off because the two
+    modes emit different signature namespaces.
     """
     coords = np.asarray(coords, dtype=np.float64)
     if coords.ndim == 1:
         coords = coords[:, None]
+    rotated = False
+    if rotations:
+        coords, rotated = rotation_coords(coords)
     frame = canonical_frame(coords, tolerance)
     lat = frame.lattice
     n, d = lat.shape
@@ -533,7 +778,16 @@ def canonical_relabeling(
     h = hashlib.sha256()
     h.update(
         np.asarray(
-            [n, d, feats.shape[1], int(k is not None), int(bt is not None)],
+            [
+                n,
+                d,
+                feats.shape[1],
+                int(k is not None),
+                int(bt is not None),
+                # Namespace the rotated frame: identical lattices reached
+                # with and without inertia alignment are different classes.
+                int(rotations) + int(rotated),
+            ],
             dtype=np.int64,
         ).tobytes()
     )
@@ -554,13 +808,21 @@ def canonical_relabeling(
 __all__ = [
     "DEFAULT_TOLERANCE",
     "DEFAULT_VALUE_TOLERANCE",
+    "DEFAULT_NEAR_SIZE_TOLERANCE",
+    "DEFAULT_NEAR_SHAPE_TOLERANCE",
+    "INERTIA_GAP_TOLERANCE",
     "CanonicalFrame",
     "CanonicalRelabeling",
     "canonical_frame",
     "canonical_coords",
     "canonical_relabeling",
     "frame_digest",
+    "inertia_alignment",
+    "log_bucket",
+    "near_signature",
     "orientation_transforms",
     "canonical_signature",
+    "rotation_coords",
+    "rotation_signature",
     "quantize_pattern",
 ]

@@ -76,3 +76,25 @@ def test_cli_unknown_experiment():
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cli_batch_unstructured_mesh_and_partitioner(capsys):
+    rc = main(
+        [
+            "batch", "--mesh", "jittered", "--partitioner", "rcb",
+            "--parts", "6", "--cells", "12", "--floating",
+            "--signature", "near", "--seed", "1", "--device", "cpu",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "partition:" in out and "edge cut" in out
+    assert "geometric class(es)" in out
+    assert "grouping:" in out  # the grouping-efficiency line
+
+
+def test_cli_batch_validates_flag_combinations():
+    with pytest.raises(ValueError, match="contradicts"):
+        main(["batch", "--mesh", "jittered", "--dim", "3"])
+    with pytest.raises(ValueError, match="--parts only applies"):
+        main(["batch", "--parts", "8", "--cells", "12"])

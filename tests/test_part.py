@@ -1,0 +1,282 @@
+"""Tests for the unstructured mesh zoo and the METIS-like partitioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.sparse.csgraph import connected_components
+
+from repro.dd import decompose, partition_elements
+from repro.fem import Mesh, heat_problem, unit_square_mesh
+from repro.part import (
+    MESH_ZOO,
+    element_dual_graph,
+    jittered_square_mesh,
+    lshape_mesh,
+    make_mesh,
+    partition_mesh,
+    strip_with_holes_mesh,
+    submesh,
+)
+
+
+def _signed_areas(mesh: Mesh) -> np.ndarray:
+    a, b, c = (mesh.coords[mesh.elements[:, k]] for k in range(3))
+    return 0.5 * ((b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1])
+                  - (b[:, 1] - a[:, 1]) * (c[:, 0] - a[:, 0]))
+
+
+def _parts_connected(mesh: Mesh, owner: np.ndarray, n_parts: int) -> bool:
+    graph = element_dual_graph(mesh)
+    for p in range(n_parts):
+        members = np.flatnonzero(owner == p)
+        if members.size == 0:
+            return False
+        n_comp, _ = connected_components(
+            graph[members][:, members], directed=False
+        )
+        if n_comp != 1:
+            return False
+    return True
+
+
+# --- mesh zoo ----------------------------------------------------------------
+
+
+def test_jittered_mesh_valid_and_deterministic():
+    m1 = jittered_square_mesh(10, jitter=0.25, seed=7)
+    m2 = jittered_square_mesh(10, jitter=0.25, seed=7)
+    m3 = jittered_square_mesh(10, jitter=0.25, seed=8)
+    assert np.array_equal(m1.coords, m2.coords)
+    assert np.array_equal(m1.elements, m2.elements)
+    assert not np.array_equal(m1.coords, m3.coords)
+    assert m1.n_elements == 200
+    assert _signed_areas(m1).min() > 0  # no inverted triangles
+    # the domain is still exactly the unit square
+    assert np.allclose(m1.coords.min(axis=0), 0.0)
+    assert np.allclose(m1.coords.max(axis=0), 1.0)
+    # boundary nodes did not move: group sizes match the structured mesh
+    base = unit_square_mesh(10)
+    for name in ("left", "right", "bottom", "top"):
+        assert m1.boundary_groups[name].size == base.boundary_groups[name].size
+
+
+def test_jittered_mesh_zero_jitter_keeps_structured_nodes():
+    m = jittered_square_mesh(6, jitter=0.0, seed=0)
+    assert np.allclose(m.coords, unit_square_mesh(6).coords)
+
+
+def test_jittered_mesh_validates():
+    with pytest.raises(ValueError):
+        jittered_square_mesh(8, jitter=0.9)
+    with pytest.raises(ValueError):
+        jittered_square_mesh(0)
+
+
+def test_lshape_mesh_drops_quadrant():
+    m = lshape_mesh(8)
+    assert m.n_elements == 2 * 8 * 8 * 3 // 4
+    centroids = m.coords[m.elements].mean(axis=1)
+    assert not np.any((centroids[:, 0] > 0.5) & (centroids[:, 1] > 0.5))
+    n_comp, _ = connected_components(element_dual_graph(m), directed=False)
+    assert n_comp == 1
+    # re-entrant corner node is not on the outer box sides but is boundary
+    assert m.boundary_groups["boundary"].size > 0
+    with pytest.raises(ValueError):
+        lshape_mesh(7)  # odd: cut would not fall on mesh lines
+
+
+def test_strip_mesh_punches_holes_but_stays_connected():
+    full = strip_with_holes_mesh(8, holes=0)
+    holed = strip_with_holes_mesh(8, holes=2)
+    assert holed.n_elements < full.n_elements
+    assert np.isclose(holed.coords[:, 0].max(), 3.0)
+    n_comp, _ = connected_components(element_dual_graph(holed), directed=False)
+    assert n_comp == 1
+    # holes create boundary nodes strictly inside the bounding box
+    interior_boundary = [
+        n
+        for n in holed.boundary_groups["boundary"]
+        if 0.1 < holed.coords[n, 0] < 2.9 and 0.1 < holed.coords[n, 1] < 0.9
+    ]
+    assert interior_boundary
+
+
+def test_submesh_compacts_nodes():
+    base = unit_square_mesh(4)
+    sub = submesh(base, np.arange(8))
+    assert sub.n_elements == 8
+    assert sub.elements.max() == sub.n_nodes - 1
+    assert sub.n_nodes == np.unique(base.elements[:8]).size
+
+
+def test_mesh_zoo_builds_everything():
+    for name in MESH_ZOO:
+        mesh = make_mesh(name, 6, seed=1)
+        assert mesh.n_elements > 0
+    with pytest.raises(ValueError):
+        make_mesh("torus", 6)
+
+
+def test_mesh_zoo_meshes_run_through_fem():
+    problem = heat_problem(make_mesh("lshape", 6), dirichlet=("boundary",))
+    u = problem.solve_direct()
+    assert np.isfinite(u).all() and np.abs(u).max() > 0
+
+
+# --- dual graph --------------------------------------------------------------
+
+
+def test_dual_graph_structured_counts():
+    m = unit_square_mesh(4)
+    g = element_dual_graph(m)
+    assert g.shape == (m.n_elements, m.n_elements)
+    assert (g != g.T).nnz == 0
+    degrees = np.asarray(g.sum(axis=1)).ravel()
+    # triangles have 3 edges; boundary facets reduce the degree
+    assert degrees.max() <= 3 and degrees.min() >= 1
+
+
+# --- partition quality invariants --------------------------------------------
+
+
+@pytest.mark.parametrize("method", ["rcb", "spectral"])
+def test_partition_invariants(method):
+    mesh = jittered_square_mesh(12, jitter=0.25, seed=0)
+    n_parts = 9
+    res = partition_mesh(mesh, n_parts, method=method, seed=0)
+    # covers every element with the requested number of non-empty parts
+    assert res.owner.size == mesh.n_elements
+    assert set(res.owner.tolist()) == set(range(n_parts))
+    # every part connected in the dual graph
+    assert _parts_connected(mesh, res.owner, n_parts)
+    # balance within the stated bound
+    cap = int(np.ceil(mesh.n_elements / n_parts * 1.1))
+    assert res.counts.max() <= cap
+    assert np.isclose(res.balance, res.counts.max() / (mesh.n_elements / n_parts))
+    # refinement never worsens the cut
+    unrefined = partition_mesh(mesh, n_parts, method=method, refine=False, seed=0)
+    assert res.edge_cut <= unrefined.edge_cut
+    # deterministic under a fixed seed
+    again = partition_mesh(mesh, n_parts, method=method, seed=0)
+    assert np.array_equal(res.owner, again.owner)
+
+
+def test_refined_cut_no_worse_than_coordinate_bisection():
+    """The refined partitioner never cuts more than its plain coordinate-
+    bisection start (the guarantee: refinement moves are strictly
+    cut-reducing), across meshes and part counts."""
+    for mesh in (
+        jittered_square_mesh(12, jitter=0.25, seed=2),
+        lshape_mesh(10),
+        strip_with_holes_mesh(6),
+    ):
+        for n_parts in (4, 8, 11):
+            baseline = partition_mesh(
+                mesh, n_parts, method="rcb", refine=False
+            ).edge_cut
+            refined = partition_mesh(mesh, n_parts, method="rcb").edge_cut
+            assert refined <= baseline
+
+
+def test_partition_nonrectangular_domains():
+    for mesh in (lshape_mesh(8), strip_with_holes_mesh(6)):
+        res = partition_mesh(mesh, 6, method="rcb")
+        assert _parts_connected(mesh, res.owner, 6)
+
+
+def test_partition_validates():
+    mesh = unit_square_mesh(3)
+    with pytest.raises(ValueError):
+        partition_mesh(mesh, 0)
+    with pytest.raises(ValueError):
+        partition_mesh(mesh, mesh.n_elements + 1)
+    with pytest.raises(ValueError):
+        partition_mesh(mesh, 2, method="metis")
+
+
+def test_partition_rejects_disconnected_mesh():
+    """The connected-parts guarantee only holds on a connected mesh, so a
+    disconnected one is refused loudly instead of silently mis-partitioned."""
+    base = unit_square_mesh(4)
+    centroids = base.coords[base.elements].mean(axis=1)
+    keep = np.flatnonzero((centroids[:, 0] < 0.25) | (centroids[:, 0] > 0.75))
+    two_islands = submesh(base, keep)
+    with pytest.raises(ValueError, match="connected components"):
+        partition_mesh(two_islands, 2)
+
+
+def test_strip_mesh_validates_hole_size():
+    with pytest.raises(ValueError, match="hole_size"):
+        strip_with_holes_mesh(4, hole_size=0.8)  # no surviving cell row
+
+
+def test_mesh_zoo_passes_cells_through_unaltered():
+    with pytest.raises(ValueError, match="even"):
+        make_mesh("lshape", 7)
+    with pytest.raises(ValueError, match="ny must be >= 4"):
+        make_mesh("strip", 3)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nx=st.integers(min_value=4, max_value=8),
+    n_parts=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=3),
+)
+def test_partition_invariants_hypothesis(nx, n_parts, seed):
+    mesh = jittered_square_mesh(nx, jitter=0.2, seed=seed)
+    res = partition_mesh(mesh, n_parts, method="rcb", seed=seed)
+    assert set(res.owner.tolist()) == set(range(n_parts))
+    assert _parts_connected(mesh, res.owner, n_parts)
+    assert np.array_equal(
+        res.owner, partition_mesh(mesh, n_parts, method="rcb", seed=seed).owner
+    )
+
+
+# --- satellite: degenerate-span hardening ------------------------------------
+
+
+def test_partition_elements_rejects_degenerate_axis():
+    base = unit_square_mesh(4)
+    flat = Mesh(
+        coords=np.column_stack([base.coords[:, 0], np.zeros(base.n_nodes)]),
+        elements=base.elements,
+        dim=2,
+        grid_shape=base.grid_shape,
+        boundary_groups=base.boundary_groups,
+    )
+    with pytest.raises(ValueError, match="degenerate along axis 1"):
+        partition_elements(flat, (2, 2))
+    # a single box along the flat axis is still fine
+    owner = partition_elements(flat, (2, 1))
+    assert set(owner.tolist()) == {0, 1}
+
+
+# --- dd integration ----------------------------------------------------------
+
+
+def test_decompose_with_graph_partitioner():
+    mesh = jittered_square_mesh(12, jitter=0.25, seed=1)
+    problem = heat_problem(mesh, dirichlet=("left",))
+    dec = decompose(problem, n_subdomains=8, partitioner="rcb", seed=1)
+    assert dec.n_subdomains == 8
+    assert dec.partition is not None and dec.partition.edge_cut > 0
+    assert dec.check_consistency()
+    # box path records no partition report and grid= sets the part count
+    dec_boxes = decompose(problem, grid=(2, 2))
+    assert dec_boxes.partition is None
+    dec_grid = decompose(problem, grid=(2, 4), partitioner="spectral")
+    assert dec_grid.n_subdomains == 8
+
+
+def test_decompose_graph_partitioner_solves():
+    from repro.feti import solve_feti
+
+    mesh = jittered_square_mesh(10, jitter=0.2, seed=3)
+    problem = heat_problem(mesh, dirichlet=("left",))
+    dec = decompose(problem, n_subdomains=4, partitioner="rcb")
+    sol = solve_feti(dec, approach="expl_mkl", tol=1e-10)
+    assert np.abs(sol.u - problem.solve_direct()).max() < 1e-6

@@ -34,10 +34,16 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FLAG_RE = re.compile(r"(--[a-z][a-z0-9-]+)")
 
 #: Markdown files whose links are checked.
-DOC_FILES = ("README.md", "docs/architecture.md", "docs/pipeline.md", "docs/batching.md")
+DOC_FILES = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/pipeline.md",
+    "docs/batching.md",
+    "docs/unstructured.md",
+)
 
 #: Files whose ``--flags`` must exist in ``python -m repro batch --help``.
-FLAG_DOC_FILES = ("README.md", "docs/batching.md")
+FLAG_DOC_FILES = ("README.md", "docs/batching.md", "docs/unstructured.md")
 
 #: Documented flags that belong to other subcommands or to pytest, not to
 #: ``repro batch``.
