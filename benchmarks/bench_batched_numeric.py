@@ -20,9 +20,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.conftest import PAPER_SCALE
+from benchmarks.conftest import PAPER_SCALE, save_trace_artifact
 
 RTOL, ATOL = 1e-9, 1e-10
+
+
+def _numeric_wall(result) -> float:
+    """Host wall of the numeric phase, from the run's own obs spans: the
+    per-member path times each ``batch.member`` span, the grouped path each
+    ``batch.group`` span — comparable across execution modes (the hand
+    measurement these spans replaced timed whole assemble_batch calls,
+    analysis included)."""
+    return result.trace.total("batch.member") + result.trace.total("batch.group")
 
 
 def _run(cells: int):
@@ -30,15 +39,20 @@ def _run(cells: int):
     from repro.core import default_config
     from repro.dd import decompose
     from repro.fem import heat_transfer_2d
+    from repro.obs import tracing
 
     problem = heat_transfer_2d(cells, dirichlet=())  # floating: maximal grouping
     decomposition = decompose(problem, grid=(8, 8))
     items = items_from_decomposition(decomposition)
     cfg = default_config("gpu", 2)
-    per_member = BatchAssembler(config=cfg).assemble_batch(items, execution="per-member")
-    grouped = BatchAssembler(config=cfg).assemble_batch(
-        items, execution="grouped", n_workers=1
-    )
+    with tracing():
+        per_member = BatchAssembler(config=cfg).assemble_batch(
+            items, execution="per-member"
+        )
+    with tracing():
+        grouped = BatchAssembler(config=cfg).assemble_batch(
+            items, execution="grouped", n_workers=1
+        )
     return per_member, grouped
 
 
@@ -48,7 +62,7 @@ def test_grouped_execution_speedup(benchmark):
     per_member, grouped = benchmark.pedantic(
         lambda: _run(cells), rounds=1, iterations=1
     )
-    if per_member.stats.execute_seconds < 2.0 * grouped.stats.execute_seconds:
+    if _numeric_wall(per_member) < 2.0 * _numeric_wall(grouped):
         # One retry damps scheduler noise on busy CI runners.
         per_member, grouped = _run(cells)
 
@@ -71,30 +85,34 @@ def test_grouped_execution_speedup(benchmark):
             <= per_member.stats.group_launches[key]
         )
 
-    # Wall clock: single-threaded batching alone gives >= 2x.
-    speedup = per_member.stats.execute_seconds / grouped.stats.execute_seconds
+    # Wall clock: single-threaded batching alone gives >= 2x.  Timed from
+    # the runs' own obs spans (batch.member vs batch.group).
+    speedup = _numeric_wall(per_member) / _numeric_wall(grouped)
     assert speedup >= 2.0, f"grouped speedup only {speedup:.2f}x"
+    trace_path = save_trace_artifact(grouped.trace, "batched_numeric_grouped")
 
     benchmark.extra_info["n_subdomains"] = grouped.stats.n_subdomains
     benchmark.extra_info["n_groups"] = grouped.stats.n_groups
     benchmark.extra_info["grouped_speedup"] = speedup
     benchmark.extra_info["launches_per_member"] = per_member.stats.kernel_launches
     benchmark.extra_info["launches_grouped"] = grouped.stats.kernel_launches
-    benchmark.extra_info["exec_per_member_s"] = per_member.stats.execute_seconds
-    benchmark.extra_info["exec_grouped_s"] = grouped.stats.execute_seconds
+    benchmark.extra_info["exec_per_member_s"] = _numeric_wall(per_member)
+    benchmark.extra_info["exec_grouped_s"] = _numeric_wall(grouped)
 
     print()
     print("grouped vs per-member numeric execution (8x8 floating grid)")
     print(grouped.stats.summary())
     print(
-        f"per-member: {per_member.stats.execute_seconds * 1e3:8.3f} ms host wall, "
+        f"per-member: {_numeric_wall(per_member) * 1e3:8.3f} ms host wall, "
         f"{per_member.stats.kernel_launches} launches"
     )
     print(
-        f"grouped:    {grouped.stats.execute_seconds * 1e3:8.3f} ms host wall, "
+        f"grouped:    {_numeric_wall(grouped) * 1e3:8.3f} ms host wall, "
         f"{grouped.stats.kernel_launches} launches"
     )
     print(f"speedup:    {speedup:.2f}x (single thread — batching only)")
+    if trace_path:
+        print(f"[trace written to {trace_path}]")
 
 
 def test_grouped_parallel_workers(benchmark):

@@ -22,8 +22,6 @@ rotation-invariant *pricing* layer of :mod:`repro.sparse.canonical`:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from benchmarks.conftest import PAPER_SCALE
@@ -47,16 +45,24 @@ def _build(n_parts: int, cells: int, seed: int):
     items = items_from_decomposition(decomposition)
     cfg = default_config("gpu", 2)
 
-    t0 = time.perf_counter()
-    grouped = BatchAssembler(config=cfg, signature_mode="near").assemble_batch(
-        items, execution="grouped"
+    # Timed through repro.obs spans instead of hand-rolled perf_counter
+    # pairs: batch.group covers the grouped (stacked-kernel) numerics,
+    # batch.member the streamed per-member numerics — the comparable
+    # numeric-phase walls across execution modes.
+    from repro.obs import tracing
+
+    with tracing():
+        grouped = BatchAssembler(config=cfg, signature_mode="near").assemble_batch(
+            items, execution="grouped"
+        )
+    grouped_wall = grouped.trace.total("batch.group") + grouped.trace.total(
+        "batch.member"
     )
-    grouped_wall = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    member = BatchAssembler(config=cfg, signature_mode="near").assemble_batch(
-        items, execution="per-member"
-    )
-    member_wall = time.perf_counter() - t0
+    with tracing():
+        member = BatchAssembler(config=cfg, signature_mode="near").assemble_batch(
+            items, execution="per-member"
+        )
+    member_wall = member.trace.total("batch.member")
     return decomposition, baseline_cut, grouped, member, grouped_wall, member_wall
 
 

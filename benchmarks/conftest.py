@@ -15,6 +15,21 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "0") == "1"
 
+#: Set by the CI bench job: traced benchmarks drop Chrome trace-event JSON
+#: here, uploaded next to the ``BENCH_<run_id>`` result artifact.
+TRACE_DIR = os.environ.get("REPRO_TRACE_DIR", "")
+
+
+def save_trace_artifact(trace, name: str):
+    """Write *trace* to ``$REPRO_TRACE_DIR/TRACE_<name>.json`` when the
+    environment opts in (no-op otherwise); returns the path or ``None``."""
+    if not TRACE_DIR or trace is None:
+        return None
+    os.makedirs(TRACE_DIR, exist_ok=True)
+    path = os.path.join(TRACE_DIR, f"TRACE_{name}.json")
+    trace.save(path)
+    return path
+
 
 def run_and_report(benchmark, name: str, **kwargs):
     """Run an experiment driver once under pytest-benchmark, persist + print."""

@@ -19,8 +19,14 @@ Commands
     unstructured mesh-zoo workload, ``--partitioner`` swaps the box grid
     for the METIS-like dual-graph partitioner (``--parts``/``--seed``
     parameterize it) and ``--signature near`` prices approximately-
-    congruent subdomains together.  The knobs are documented in
-    ``docs/batching.md`` and ``docs/unstructured.md``.
+    congruent subdomains together.  ``--trace FILE`` records the run
+    through :mod:`repro.obs` and writes Chrome trace-event JSON (open in
+    Perfetto); ``--metrics-out FILE`` dumps the metrics registry (JSON, or
+    CSV by extension).  The knobs are documented in ``docs/batching.md``,
+    ``docs/unstructured.md`` and ``docs/observability.md``.
+``trace <file.json> [--top N] [--depth D]``
+    Render the phase breakdown of a saved trace: an inclusive-time tree
+    plus the top-N phases — the terminal view of ``batch --trace`` output.
 """
 
 from __future__ import annotations
@@ -134,12 +140,30 @@ def _cmd_batch(args) -> int:
         engine = BatchAssembler.for_cpu(
             config=config, cache=cache, signature_mode=args.signature
         )
-    batch = engine.assemble_batch(
-        items,
-        execute=not args.estimate_only,
-        execution=args.execution,
-        n_workers=None if args.workers == 0 else args.workers,
-    )
+    if args.trace or args.metrics_out:
+        from repro.obs import tracing, write_metrics
+
+        with tracing() as tracer:
+            batch = engine.assemble_batch(
+                items,
+                execute=not args.estimate_only,
+                execution=args.execution,
+                n_workers=None if args.workers == 0 else args.workers,
+            )
+        if args.trace:
+            path = batch.trace.save(args.trace)
+            print(f"[trace written to {path}]")
+        if args.metrics_out:
+            path = write_metrics(args.metrics_out, tracer.metrics)
+            print(f"[metrics written to {path}]")
+        print(batch.trace.render(max_depth=3))
+    else:
+        batch = engine.assemble_batch(
+            items,
+            execute=not args.estimate_only,
+            execution=args.execution,
+            n_workers=None if args.workers == 0 else args.workers,
+        )
     print(batch.stats.summary())
     pipe = engine.schedule(
         batch.work, mode=args.mode, n_threads=args.threads, n_streams=args.streams
@@ -147,6 +171,24 @@ def _cmd_batch(args) -> int:
     print(f"pipeline makespan: {pipe.makespan * 1e3:.3f} ms "
           f"({args.mode}, {args.threads} threads, {args.streams} streams)")
     print(f"pipeline rate:     {batch.stats.throughput(pipe.makespan):.1f} subdomains/s")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import load_chrome_trace, phase_tree, render_phase_tree, top_phases
+    from repro.util import format_si
+
+    spans, metrics = load_chrome_trace(args.file)
+    print(render_phase_tree(phase_tree(spans), max_depth=args.depth))
+    print()
+    print(f"top {args.top} phases by inclusive time:")
+    for name, seconds, count in top_phases(spans, n=args.top):
+        print(f"  {name:32s} {format_si(seconds, 's'):>10s}  (x{count})")
+    counters = metrics.get("counters", {}) if metrics else {}
+    if counters:
+        print()
+        print(f"metrics: {len(counters)} counter(s) recorded "
+              "(see otherData.metrics in the file)")
     return 0
 
 
@@ -254,9 +296,40 @@ def main(argv: list[str] | None = None) -> int:
         "grids), rotation-invariant, or near-match (unstructured "
         "decompositions; groups approximately-congruent subdomains)",
     )
+    p_batch.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record the run with repro.obs and write Chrome trace-event "
+        "JSON to FILE (open in Perfetto / chrome://tracing)",
+    )
+    p_batch.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the collected metrics registry to FILE "
+        "(JSON, or flat CSV with a .csv extension)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="render the phase breakdown of a saved trace file"
+    )
+    p_trace.add_argument("file", help="Chrome trace-event JSON written by --trace")
+    p_trace.add_argument(
+        "--top", type=int, default=3, help="how many top phases to list (default 3)"
+    )
+    p_trace.add_argument(
+        "--depth", type=int, default=None, help="maximum phase-tree depth to print"
+    )
 
     args = parser.parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run, "solve": _cmd_solve, "batch": _cmd_batch}
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "solve": _cmd_solve,
+        "batch": _cmd_batch,
+        "trace": _cmd_trace,
+    }
     return handlers[args.command](args)
 
 

@@ -71,6 +71,7 @@ from repro.feti.timing import CHOLMOD, FactorizationLibrary
 from repro.gpu.costmodel import KernelCost, csx_bytes
 from repro.gpu.runtime import Executor
 from repro.gpu.spec import A100_40GB, EPYC_7763_CORE, PCIE4_X16, DeviceSpec, TransferSpec
+from repro.obs import Trace, get_tracer, record_batch_stats, record_cost_ledger
 from repro.runtime.pipeline import PipelineResult, SubdomainWork, run_preprocessing_pipeline
 from repro.runtime.scheduler import host_worker_count
 from repro.sparse.canonical import CanonicalRelabeling
@@ -135,6 +136,12 @@ class BatchResult:
     member indices for the items that carried coordinates (empty
     otherwise) — the symmetry classes a structured decomposition's members
     fall into.
+
+    ``trace`` is the observability handle of the run — the spans and
+    metrics collected while a :mod:`repro.obs` tracer was installed
+    (``with tracing(): ...``); ``None`` when tracing was off.  Save it with
+    ``result.trace.save("out.json")`` (Chrome trace-event JSON, opens in
+    Perfetto) or render it with ``result.trace.render()``.
     """
 
     results: list[SchurAssemblyResult | None]
@@ -144,6 +151,7 @@ class BatchResult:
     artifacts: dict[str, SymbolicArtifacts]
     exact_groups: dict[str, list[int]]
     geometric_groups: dict[str, list[int]]
+    trace: Trace | None = None
 
     @property
     def n_subdomains(self) -> int:
@@ -186,13 +194,14 @@ def build_artifacts(
     already permutes it for the fingerprint).
     """
     n, m = factor.n, bt.shape[1]
-    patt = FactorPattern.from_factor(factor)
-    if bt_rows is None:
-        bt_rows = bt.tocsr()[factor.perm]
-    prepared = prepare_pattern(bt_rows.tocsc(), config, factor_pattern=patt)
-    estimate = estimate_from_patterns(patt, prepared.shape, config, spec, transfer)
-    assembler = SchurAssembler(config=config, spec=spec, transfer=transfer)
-    memory = assembler.estimate_memory(factor, m)
+    with get_tracer().span("batch.symbolic", n=n, m=m):
+        patt = FactorPattern.from_factor(factor)
+        if bt_rows is None:
+            bt_rows = bt.tocsr()[factor.perm]
+        prepared = prepare_pattern(bt_rows.tocsc(), config, factor_pattern=patt)
+        estimate = estimate_from_patterns(patt, prepared.shape, config, spec, transfer)
+        assembler = SchurAssembler(config=config, spec=spec, transfer=transfer)
+        memory = assembler.estimate_memory(factor, m)
     return SymbolicArtifacts(
         fingerprint=fingerprint,
         prepared=prepared,
@@ -319,7 +328,8 @@ class BatchAssembler:
         extra = self._fingerprint_extra()
         if bt_rows is None:
             bt_rows = bt.tocsr()[factor.perm].tocsc()  # permute once, share
-        fp = factor_fingerprint(factor, bt, extra=extra, bt_rows=bt_rows)
+        with get_tracer().span("batch.fingerprint", n=factor.n, m=bt.shape[1]):
+            fp = factor_fingerprint(factor, bt, extra=extra, bt_rows=bt_rows)
         return self.cache.get_or_build(
             fp.key,
             lambda: build_artifacts(
@@ -366,8 +376,47 @@ class BatchAssembler:
             parallel: ``1`` (default) is serial, ``None`` takes every host
             core; resolved by :func:`repro.runtime.scheduler.host_worker_count`.
             Per-member execution is always serial.
+
+        With a :mod:`repro.obs` tracer installed (``with tracing(): ...``)
+        the run is fully instrumented — a ``batch.assemble`` root span with
+        ``batch.analyze``/``batch.execute``/``batch.unrelabel`` phases,
+        per-member and per-group spans (grouped groups on their worker
+        threads' own tracks), simulated-kernel spans from the executors —
+        and the returned :attr:`BatchResult.trace` scopes exactly this
+        call's spans plus the tracer-wide metrics registry.
         """
         require(execution in EXECUTION_MODES, f"unknown execution mode {execution!r}")
+        tracer = get_tracer()
+        mark = tracer.mark() if tracer.enabled else 0
+        with tracer.span(
+            "batch.assemble", n_items=len(items), execution=execution, execute=execute
+        ) as root:
+            result = self._assemble_batch(
+                items,
+                execute=execute,
+                executor=executor,
+                execution=execution,
+                n_workers=n_workers,
+            )
+            root.set(
+                n_groups=result.stats.n_groups,
+                cache_hits=result.stats.hits,
+                cache_misses=result.stats.misses,
+            )
+        if tracer.enabled:
+            record_batch_stats(tracer.metrics, result.stats)
+            result.trace = tracer.trace(mark)
+        return result
+
+    def _assemble_batch(
+        self,
+        items: list[BatchItem | tuple],
+        execute: bool,
+        executor: Executor | None,
+        execution: str,
+        n_workers: int | None,
+    ) -> BatchResult:
+        tracer = get_tracer()
         t0 = time.perf_counter()
         norm = [it if isinstance(it, BatchItem) else BatchItem(*it) for it in items]
         before = self.cache.stats.snapshot()
@@ -398,162 +447,172 @@ class BatchAssembler:
         bt_rows_all: list[sp.csc_matrix | None] = []
         analysis = 0.0
         saved = 0.0
-        for idx, item in enumerate(norm):
-            require(sp.issparse(item.bt), f"item {idx}: bt must be sparse")
-            rel = item.relabeling
-            if rel is not None:
-                require(
-                    rel.n_dofs == item.factor.n and rel.n_cols == item.bt.shape[1],
-                    f"item {idx}: relabeling does not match factor/bt shapes",
+        with tracer.span("batch.analyze", n_items=len(norm)):
+            for idx, item in enumerate(norm):
+                require(sp.issparse(item.bt), f"item {idx}: bt must be sparse")
+                rel = item.relabeling
+                if rel is not None:
+                    require(
+                        rel.n_dofs == item.factor.n and rel.n_cols == item.bt.shape[1],
+                        f"item {idx}: relabeling does not match factor/bt shapes",
+                    )
+                # One row permutation per item, shared by the fingerprint, the
+                # artifact build (on a miss) and the executed numerics.  With a
+                # relabeling the gluing columns additionally go to canonical
+                # order: mirror-identical members then present bit-equal
+                # patterns and land in one shared (executable) group.
+                bt_perm = item.bt.tocsr()[item.factor.perm].tocsc()
+                bt_rows = bt_perm[:, rel.col_perm] if rel is not None else bt_perm
+                # Retain the copy only when the deferred execution phase will
+                # consume it (grouped/auto); streamed and plan-only runs drop it.
+                bt_rows_all.append(bt_rows if execute and not stream else None)
+                art, hit = self.analyze(item.factor, item.bt, bt_rows=bt_rows)
+                key = art.fingerprint.key
+                groups.setdefault(key, []).append(idx)
+                artifacts[key] = art
+                if rel is None:
+                    exact_key = key
+                else:
+                    # The grouping the run would have had without orientation-
+                    # canonical sharing: same factor pattern, original column
+                    # order.  The canonical key already pins pattern(L) (and the
+                    # canonical column order is a pure function of the raw
+                    # pattern), so appending the raw permuted-gluing digest
+                    # yields the identical partition without re-hashing L.
+                    exact_key = f"{key}|{pattern_digest(bt_perm)}"
+                exact_groups.setdefault(exact_key, []).append(idx)
+                if item.coords is not None:
+                    geo = geometric_fingerprint_for(
+                        self.signature_mode,
+                        item.coords,
+                        item.bt,
+                        tolerance=self.tolerance,
+                        size_tolerance=self.near_size_tolerance,
+                        shape_tolerance=self.near_shape_tolerance,
+                    )
+                    geometric_groups.setdefault(geo.key, []).append(idx)
+                if hit:
+                    saved += art.analysis_seconds
+                else:
+                    analysis += art.analysis_seconds
+                work.append(
+                    SubdomainWork(
+                        factorization=self.library.factorization_time(item.factor),
+                        assembly=art.estimate["total"],
+                        temp_bytes=art.memory.temporary,
+                        persistent_bytes=art.memory.persistent,
+                    )
                 )
-            # One row permutation per item, shared by the fingerprint, the
-            # artifact build (on a miss) and the executed numerics.  With a
-            # relabeling the gluing columns additionally go to canonical
-            # order: mirror-identical members then present bit-equal
-            # patterns and land in one shared (executable) group.
-            bt_perm = item.bt.tocsr()[item.factor.perm].tocsc()
-            bt_rows = bt_perm[:, rel.col_perm] if rel is not None else bt_perm
-            # Retain the copy only when the deferred execution phase will
-            # consume it (grouped/auto); streamed and plan-only runs drop it.
-            bt_rows_all.append(bt_rows if execute and not stream else None)
-            art, hit = self.analyze(item.factor, item.bt, bt_rows=bt_rows)
-            key = art.fingerprint.key
-            groups.setdefault(key, []).append(idx)
-            artifacts[key] = art
-            if rel is None:
-                exact_key = key
-            else:
-                # The grouping the run would have had without orientation-
-                # canonical sharing: same factor pattern, original column
-                # order.  The canonical key already pins pattern(L) (and the
-                # canonical column order is a pure function of the raw
-                # pattern), so appending the raw permuted-gluing digest
-                # yields the identical partition without re-hashing L.
-                exact_key = f"{key}|{pattern_digest(bt_perm)}"
-            exact_groups.setdefault(exact_key, []).append(idx)
-            if item.coords is not None:
-                geo = geometric_fingerprint_for(
-                    self.signature_mode,
-                    item.coords,
-                    item.bt,
-                    tolerance=self.tolerance,
-                    size_tolerance=self.near_size_tolerance,
-                    shape_tolerance=self.near_shape_tolerance,
-                )
-                geometric_groups.setdefault(geo.key, []).append(idx)
-            if hit:
-                saved += art.analysis_seconds
-            else:
-                analysis += art.analysis_seconds
-            work.append(
-                SubdomainWork(
-                    factorization=self.library.factorization_time(item.factor),
-                    assembly=art.estimate["total"],
-                    temp_bytes=art.memory.temporary,
-                    persistent_bytes=art.memory.persistent,
-                )
-            )
-            if stream:
-                l0 = ex.ledger.total.launches
-                w0 = time.perf_counter()
-                results[idx] = self.assembler.assemble(
-                    item.factor,
-                    item.bt,
-                    executor=ex,
-                    prepared=art.prepared,
-                    bt_rows=bt_rows,
-                )
-                dt = time.perf_counter() - w0
-                execute_seconds += dt
-                group_launches[key] = (
-                    group_launches.get(key, 0) + ex.ledger.total.launches - l0
-                )
-                group_execute_seconds[key] = group_execute_seconds.get(key, 0.0) + dt
-
-        # --- execution phase (grouped / auto) -------------------------------
-        if execute and norm and not stream:
-            exec_t0 = time.perf_counter()
-
-            def auto_picks_grouped(key: str) -> bool:
-                if len(groups[key]) < GROUPED_AUTO_THRESHOLD:
-                    return False
-                return (
-                    self.config.factor_storage == "dense"
-                    or artifacts[key].fingerprint.n <= GROUPED_AUTO_MAX_SPARSE_ORDER
-                )
-
-            grouped_keys = [
-                key
-                for key in groups
-                if execution == "grouped" or auto_picks_grouped(key)
-            ]
-            grouped_set = set(grouped_keys)
-            # Per-member members first (serial; bit-identical path).
-            for key, members in groups.items():
-                if key in grouped_set:
-                    continue
-                for idx in members:
+                if stream:
                     l0 = ex.ledger.total.launches
                     w0 = time.perf_counter()
-                    results[idx] = self.assembler.assemble(
-                        norm[idx].factor,
-                        norm[idx].bt,
-                        executor=ex,
-                        prepared=artifacts[key].prepared,
-                        bt_rows=bt_rows_all[idx],
-                    )
-                    bt_rows_all[idx] = None
+                    with tracer.span("batch.member", index=idx, group=key[:16]):
+                        results[idx] = self.assembler.assemble(
+                            item.factor,
+                            item.bt,
+                            executor=ex,
+                            prepared=art.prepared,
+                            bt_rows=bt_rows,
+                        )
+                    dt = time.perf_counter() - w0
+                    execute_seconds += dt
                     group_launches[key] = (
                         group_launches.get(key, 0) + ex.ledger.total.launches - l0
                     )
-                    group_execute_seconds[key] = (
-                        group_execute_seconds.get(key, 0.0) + time.perf_counter() - w0
+                    group_execute_seconds[key] = group_execute_seconds.get(key, 0.0) + dt
+
+        # --- execution phase (grouped / auto) -------------------------------
+        if execute and norm and not stream:
+            with tracer.span("batch.execute", execution=execution):
+                exec_t0 = time.perf_counter()
+
+                def auto_picks_grouped(key: str) -> bool:
+                    if len(groups[key]) < GROUPED_AUTO_THRESHOLD:
+                        return False
+                    return (
+                        self.config.factor_storage == "dense"
+                        or artifacts[key].fingerprint.n <= GROUPED_AUTO_MAX_SPARSE_ORDER
                     )
 
-            # Grouped groups: whole-group batched kernels, one executor per
-            # group so independent groups can run on parallel host threads.
-            def run_group(key: str):
-                members = groups[key]
-                gex = Executor(self.assembler.spec)
-                w0 = time.perf_counter()
-                res = self.assembler.assemble_group(
-                    [norm[i].factor for i in members],
-                    [norm[i].bt for i in members],
-                    executor=gex,
-                    prepared=artifacts[key].prepared,
-                    bt_rows=[bt_rows_all[i] for i in members],
-                )
-                for i in members:
-                    bt_rows_all[i] = None  # stacked: copy no longer needed
-                return key, res, gex, time.perf_counter() - w0
+                grouped_keys = [
+                    key
+                    for key in groups
+                    if execution == "grouped" or auto_picks_grouped(key)
+                ]
+                grouped_set = set(grouped_keys)
+                # Per-member members first (serial; bit-identical path).
+                for key, members in groups.items():
+                    if key in grouped_set:
+                        continue
+                    for idx in members:
+                        l0 = ex.ledger.total.launches
+                        w0 = time.perf_counter()
+                        with tracer.span("batch.member", index=idx, group=key[:16]):
+                            results[idx] = self.assembler.assemble(
+                                norm[idx].factor,
+                                norm[idx].bt,
+                                executor=ex,
+                                prepared=artifacts[key].prepared,
+                                bt_rows=bt_rows_all[idx],
+                            )
+                        bt_rows_all[idx] = None
+                        group_launches[key] = (
+                            group_launches.get(key, 0) + ex.ledger.total.launches - l0
+                        )
+                        group_execute_seconds[key] = (
+                            group_execute_seconds.get(key, 0.0) + time.perf_counter() - w0
+                        )
 
-            workers = host_worker_count(n_workers, n_tasks=len(grouped_keys))
-            if workers > 1 and len(grouped_keys) > 1:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    outcomes = list(pool.map(run_group, grouped_keys))
-            else:
-                outcomes = [run_group(key) for key in grouped_keys]
-            for key, res, gex, wall in outcomes:
-                for idx, r in zip(groups[key], res):
-                    results[idx] = r
-                ex.ledger.absorb(gex.ledger)
-                group_launches[key] = (
-                    group_launches.get(key, 0) + gex.ledger.total.launches
-                )
-                group_execute_seconds[key] = (
-                    group_execute_seconds.get(key, 0.0) + wall
-                )
-                n_grouped += len(groups[key])
-            execute_seconds += time.perf_counter() - exec_t0
+                # Grouped groups: whole-group batched kernels, one executor per
+                # group so independent groups can run on parallel host threads.
+                def run_group(key: str):
+                    members = groups[key]
+                    gex = Executor(self.assembler.spec)
+                    w0 = time.perf_counter()
+                    with tracer.span(
+                        "batch.group", group=key[:16], n_members=len(members)
+                    ):
+                        res = self.assembler.assemble_group(
+                            [norm[i].factor for i in members],
+                            [norm[i].bt for i in members],
+                            executor=gex,
+                            prepared=artifacts[key].prepared,
+                            bt_rows=[bt_rows_all[i] for i in members],
+                        )
+                    for i in members:
+                        bt_rows_all[i] = None  # stacked: copy no longer needed
+                    return key, res, gex, time.perf_counter() - w0
+
+                workers = host_worker_count(n_workers, n_tasks=len(grouped_keys))
+                if workers > 1 and len(grouped_keys) > 1:
+                    with ThreadPoolExecutor(max_workers=workers) as pool:
+                        outcomes = list(pool.map(run_group, grouped_keys))
+                else:
+                    outcomes = [run_group(key) for key in grouped_keys]
+                for key, res, gex, wall in outcomes:
+                    for idx, r in zip(groups[key], res):
+                        results[idx] = r
+                    ex.ledger.absorb(gex.ledger)
+                    group_launches[key] = (
+                        group_launches.get(key, 0) + gex.ledger.total.launches
+                    )
+                    group_execute_seconds[key] = (
+                        group_execute_seconds.get(key, 0.0) + wall
+                    )
+                    n_grouped += len(groups[key])
+                execute_seconds += time.perf_counter() - exec_t0
         if execute and norm:
             launches = ex.ledger.total.launches - base_launches
             # Canonical-class members assembled against canonically ordered
             # gluing columns: reindex each SC back to its own multiplier
             # order (pure host-side gather, exact inverse of the column
             # relabeling).
-            for idx, item in enumerate(norm):
-                if item.relabeling is not None and results[idx] is not None:
-                    results[idx].f = item.relabeling.unapply_sc(results[idx].f)
+            with tracer.span("batch.unrelabel"):
+                for idx, item in enumerate(norm):
+                    if item.relabeling is not None and results[idx] is not None:
+                        results[idx].f = item.relabeling.unapply_sc(results[idx].f)
+            if tracer.enabled:
+                record_cost_ledger(tracer.metrics, ex.ledger)
 
         after = self.cache.stats
         stats = BatchStats(

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.feti.projector import CoarseProblem
+from repro.obs import get_tracer
 from repro.util import require
 
 
@@ -63,48 +64,56 @@ def pcpg(
     require(tol > 0, "tol must be positive")
     require(max_iter >= 1, "max_iter must be >= 1")
 
-    coarse = CoarseProblem(g)
-    lam = coarse.feasible_point(e)
-    r = d - apply_f(lam)
+    tracer = get_tracer()
+    with tracer.span("pcpg.solve", m=m, kdim=int(g.shape[1]), tol=tol) as solve_span:
+        coarse = CoarseProblem(g)
+        lam = coarse.feasible_point(e)
+        r = d - apply_f(lam)
 
-    w = coarse.project(r)
-    norm0 = float(np.linalg.norm(w))
-    residuals = [norm0]
-    if norm0 == 0.0:
-        alpha = coarse.alpha_from(apply_f(lam) - d)
-        return PcpgResult(lam=lam, alpha=alpha, iterations=0, converged=True, residuals=residuals)
-
-    z = apply_precond(w) if apply_precond is not None else w
-    y = coarse.project(z)
-    p = y.copy()
-    rho = float(y @ w)
-
-    converged = False
-    it = 0
-    for it in range(1, max_iter + 1):
-        fp = apply_f(p)
-        pfp = float(p @ fp)
-        if pfp <= 0.0:
-            # Loss of positive definiteness on the projected space — stop
-            # with the current iterate rather than diverge.
-            break
-        gamma = rho / pfp
-        lam += gamma * p
-        r -= gamma * fp
         w = coarse.project(r)
-        norm_w = float(np.linalg.norm(w))
-        residuals.append(norm_w)
-        if norm_w <= tol * norm0:
-            converged = True
-            break
+        norm0 = float(np.linalg.norm(w))
+        residuals = [norm0]
+        if norm0 == 0.0:
+            alpha = coarse.alpha_from(apply_f(lam) - d)
+            solve_span.set(iterations=0, converged=True)
+            return PcpgResult(
+                lam=lam, alpha=alpha, iterations=0, converged=True, residuals=residuals
+            )
+
         z = apply_precond(w) if apply_precond is not None else w
         y = coarse.project(z)
-        rho_new = float(y @ w)
-        beta = rho_new / rho
-        rho = rho_new
-        p = y + beta * p
+        p = y.copy()
+        rho = float(y @ w)
 
-    alpha = coarse.alpha_from(apply_f(lam) - d)
+        converged = False
+        it = 0
+        for it in range(1, max_iter + 1):
+            with tracer.span("pcpg.iteration", iteration=it) as iter_span:
+                fp = apply_f(p)
+                pfp = float(p @ fp)
+                if pfp <= 0.0:
+                    # Loss of positive definiteness on the projected space —
+                    # stop with the current iterate rather than diverge.
+                    break
+                gamma = rho / pfp
+                lam += gamma * p
+                r -= gamma * fp
+                w = coarse.project(r)
+                norm_w = float(np.linalg.norm(w))
+                residuals.append(norm_w)
+                iter_span.set(residual=norm_w)
+                if norm_w <= tol * norm0:
+                    converged = True
+                    break
+                z = apply_precond(w) if apply_precond is not None else w
+                y = coarse.project(z)
+                rho_new = float(y @ w)
+                beta = rho_new / rho
+                rho = rho_new
+                p = y + beta * p
+
+        alpha = coarse.alpha_from(apply_f(lam) - d)
+        solve_span.set(iterations=it, converged=converged)
     return PcpgResult(
         lam=lam, alpha=alpha, iterations=it, converged=converged, residuals=residuals
     )

@@ -14,6 +14,7 @@ to reproduce the CPU–GPU overlap of the paper's ``mix`` configuration.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,9 +24,13 @@ from repro.gpu import kernels
 from repro.gpu.costmodel import CostLedger, KernelCost
 from repro.gpu.memory import MemoryPool
 from repro.gpu.spec import A100_40GB, EPYC_7763_CORE, PCIE4_X16, DeviceSpec, TransferSpec
+from repro.obs import get_tracer
 from repro.sparse.stacked import StackedCSC
 from repro.sparse.triangular import TriangularSolver
 from repro.util import require
+
+#: Distinguishes the simulated-device tracks of concurrently live executors.
+_EXECUTOR_SEQ = itertools.count()
 
 
 class Executor:
@@ -34,11 +39,17 @@ class Executor:
     All kernel methods execute the numerics immediately (NumPy/SciPy) and
     charge the corresponding :class:`KernelCost` to the ledger.  Use one
     executor per simulated resource (one GPU, one CPU core).
+
+    With tracing enabled (:mod:`repro.obs`), every priced kernel becomes a
+    span on this executor's simulated-device track: timestamps are the
+    ledger's *simulated* seconds, so the track is the cost-model timeline
+    the paper's per-kernel figures read off, one track per executor.
     """
 
     def __init__(self, spec: DeviceSpec) -> None:
         self.spec = spec
         self.ledger = CostLedger(spec)
+        self.track = f"sim:{spec.kind}:{spec.name}#{next(_EXECUTOR_SEQ)}"
 
     @property
     def elapsed(self) -> float:
@@ -48,19 +59,35 @@ class Executor:
     def reset(self) -> None:
         self.ledger.reset()
 
-    def charge(self, cost: KernelCost) -> float:
-        return self.ledger.charge(cost)
+    def charge(self, cost: KernelCost, kernel: str = "kernel") -> float:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self.ledger.charge(cost)
+        t0 = self.ledger.elapsed
+        dt = self.ledger.charge(cost)
+        tracer.add_span(
+            f"gpu.{kernel}",
+            start=t0,
+            end=self.ledger.elapsed,
+            track=self.track,
+            flops=cost.flops,
+            bytes_moved=cost.bytes_moved,
+            launches=cost.launches,
+        )
+        tracer.metrics.observe("gpu.kernel_sim_seconds", dt)
+        return dt
 
     def charge_bytes(self, nbytes: float) -> float:
         """Charge a pure data-movement operation (permutation, pack, copy)."""
         return self.charge(
-            KernelCost(flops=0.0, bytes_moved=nbytes, launches=1, char_dim=1.0)
+            KernelCost(flops=0.0, bytes_moved=nbytes, launches=1, char_dim=1.0),
+            kernel="copy",
         )
 
     # -- kernel façade ------------------------------------------------------
 
     def trsm_dense(self, l: np.ndarray, x: np.ndarray, trans: bool = False) -> float:
-        return self.charge(kernels.trsm_dense(l, x, trans=trans))
+        return self.charge(kernels.trsm_dense(l, x, trans=trans), kernel="trsm_dense")
 
     def trsm_sparse(
         self,
@@ -69,10 +96,10 @@ class Executor:
         trans: bool = False,
         solver: TriangularSolver | None = None,
     ) -> float:
-        return self.charge(kernels.trsm_sparse(l, x, trans=trans, solver=solver))
+        return self.charge(kernels.trsm_sparse(l, x, trans=trans, solver=solver), kernel="trsm_sparse")
 
     def syrk(self, y: np.ndarray, c: np.ndarray, alpha: float = 1.0, beta: float = 1.0) -> float:
-        return self.charge(kernels.syrk(y, c, alpha=alpha, beta=beta))
+        return self.charge(kernels.syrk(y, c, alpha=alpha, beta=beta), kernel="syrk")
 
     def gemm(
         self,
@@ -83,46 +110,52 @@ class Executor:
         beta: float = 1.0,
         trans_a: bool = False,
     ) -> float:
-        return self.charge(kernels.gemm(a, b, c, alpha=alpha, beta=beta, trans_a=trans_a))
+        return self.charge(
+            kernels.gemm(a, b, c, alpha=alpha, beta=beta, trans_a=trans_a),
+            kernel="gemm",
+        )
 
     def spmm(self, a: sp.spmatrix, b: np.ndarray, c: np.ndarray, alpha: float = 1.0, beta: float = 1.0) -> float:
-        return self.charge(kernels.spmm(a, b, c, alpha=alpha, beta=beta))
+        return self.charge(kernels.spmm(a, b, c, alpha=alpha, beta=beta), kernel="spmm")
 
     def gather_rows(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
         out, cost = kernels.gather_rows(x, rows)
-        self.charge(cost)
+        self.charge(cost, kernel="gather_rows")
         return out
 
     def scatter_add_rows(self, target: np.ndarray, rows: np.ndarray, values: np.ndarray, sign: float = 1.0) -> float:
-        return self.charge(kernels.scatter_add_rows(target, rows, values, sign=sign))
+        return self.charge(
+            kernels.scatter_add_rows(target, rows, values, sign=sign),
+            kernel="scatter_add_rows",
+        )
 
     def extract_sparse_block(self, l: sp.csc_matrix, r0: int, r1: int, c0: int, c1: int) -> sp.csc_matrix:
         block, cost = kernels.extract_sparse_block(l, r0, r1, c0, c1)
-        self.charge(cost)
+        self.charge(cost, kernel="extract_sparse_block")
         return block
 
     def densify(self, a: sp.spmatrix) -> np.ndarray:
         out, cost = kernels.densify(a)
-        self.charge(cost)
+        self.charge(cost, kernel="densify")
         return out
 
     def permute_columns(self, x: np.ndarray, perm: np.ndarray, inverse: bool = False) -> np.ndarray:
         out, cost = kernels.permute_columns(x, perm, inverse=inverse)
-        self.charge(cost)
+        self.charge(cost, kernel="permute_columns")
         return out
 
     def symmetric_permute(self, f: np.ndarray, perm: np.ndarray, inverse: bool = True) -> np.ndarray:
         out, cost = kernels.symmetric_permute(f, perm, inverse=inverse)
-        self.charge(cost)
+        self.charge(cost, kernel="symmetric_permute")
         return out
 
     # -- batched kernel façade (whole fingerprint groups, one launch each) --
 
     def batched_trsm_dense(self, l_stack: np.ndarray, x_stack: np.ndarray) -> float:
-        return self.charge(kernels.batched_trsm_dense(l_stack, x_stack))
+        return self.charge(kernels.batched_trsm_dense(l_stack, x_stack), kernel="batched_trsm_dense")
 
     def batched_trsm_sparse(self, l: StackedCSC, x_stack: np.ndarray) -> float:
-        return self.charge(kernels.batched_trsm_sparse(l, x_stack))
+        return self.charge(kernels.batched_trsm_sparse(l, x_stack), kernel="batched_trsm_sparse")
 
     def batched_syrk(
         self,
@@ -131,7 +164,10 @@ class Executor:
         alpha: float = 1.0,
         beta: float = 1.0,
     ) -> float:
-        return self.charge(kernels.batched_syrk(y_stack, c_stack, alpha=alpha, beta=beta))
+        return self.charge(
+            kernels.batched_syrk(y_stack, c_stack, alpha=alpha, beta=beta),
+            kernel="batched_syrk",
+        )
 
     def batched_gemm(
         self,
@@ -145,7 +181,8 @@ class Executor:
         return self.charge(
             kernels.batched_gemm(
                 a_stack, b_stack, c_stack, alpha=alpha, beta=beta, trans_a=trans_a
-            )
+            ),
+            kernel="batched_gemm",
         )
 
     def batched_spmm(
@@ -156,7 +193,10 @@ class Executor:
         alpha: float = 1.0,
         beta: float = 1.0,
     ) -> float:
-        return self.charge(kernels.batched_spmm(a, b_stack, c_stack, alpha=alpha, beta=beta))
+        return self.charge(
+            kernels.batched_spmm(a, b_stack, c_stack, alpha=alpha, beta=beta),
+            kernel="batched_spmm",
+        )
 
     def batched_scatter_add_rows(
         self,
@@ -166,26 +206,27 @@ class Executor:
         sign: float = 1.0,
     ) -> float:
         return self.charge(
-            kernels.batched_scatter_add_rows(target_stack, rows, values_stack, sign=sign)
+            kernels.batched_scatter_add_rows(target_stack, rows, values_stack, sign=sign),
+            kernel="batched_scatter_add_rows",
         )
 
     def batched_extract_block(
         self, a: StackedCSC, r0: int, r1: int, c0: int, c1: int
     ) -> StackedCSC:
         block, cost = kernels.batched_extract_block(a, r0, r1, c0, c1)
-        self.charge(cost)
+        self.charge(cost, kernel="batched_extract_block")
         return block
 
     def batched_densify(self, a: StackedCSC, rows: np.ndarray | None = None) -> np.ndarray:
         out, cost = kernels.batched_densify(a, rows=rows)
-        self.charge(cost)
+        self.charge(cost, kernel="batched_densify")
         return out
 
     def batched_symmetric_permute(
         self, f_stack: np.ndarray, perm: np.ndarray, inverse: bool = True
     ) -> np.ndarray:
         out, cost = kernels.batched_symmetric_permute(f_stack, perm, inverse=inverse)
-        self.charge(cost)
+        self.charge(cost, kernel="batched_symmetric_permute")
         return out
 
 

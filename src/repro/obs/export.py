@@ -1,0 +1,201 @@
+"""Trace and metrics exporters: Chrome trace-event JSON, flat JSON/CSV.
+
+:func:`chrome_trace` emits the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by Perfetto / ``chrome://tracing``: one ``B``/``E`` event pair per
+span, one named track (tid) per host worker thread and one per simulated
+device executor, thread-name metadata events, plus the metrics registry
+snapshot under ``otherData``.  Timestamps are microseconds as floats —
+full ``perf_counter`` precision is preserved.
+
+Host tracks carry wall time; ``sim:*`` tracks carry *simulated* seconds
+(the cost-model timeline).  They coexist in one file because Perfetto
+renders tracks independently; see ``docs/observability.md``.
+
+:func:`load_chrome_trace` round-trips a written file back into
+:class:`~repro.obs.span.Span` objects (parentage reconstructed from the
+B/E nesting) so ``python -m repro trace out.json`` can render the phase
+breakdown of any saved run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span
+
+
+def _track_order(track: str) -> tuple:
+    """Host tracks first (in creation order), simulated tracks after."""
+    if track.startswith("host:"):
+        suffix = track.split(":", 1)[1]
+        return (0, int(suffix) if suffix.isdigit() else 1 << 30, track)
+    return (1, 0, track)
+
+
+def chrome_trace(spans: list[Span], metrics: MetricsRegistry | None = None) -> dict:
+    """Build a Chrome trace-event dict from finished spans.
+
+    Spans on one track must be well nested (guaranteed for spans produced
+    by a :class:`~repro.obs.span.Tracer`: host spans come off a per-thread
+    stack, simulated spans are sequential per executor).  Each span becomes
+    a ``B``/``E`` pair; per track the event stream is stack-disciplined and
+    its timestamps are non-decreasing.
+    """
+    tracks = sorted({s.track for s in spans}, key=_track_order)
+    tids = {track: i + 1 for i, track in enumerate(tracks)}
+    events: list[dict] = []
+    for track in tracks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tids[track],
+                "args": {"name": track},
+            }
+        )
+    for track in tracks:
+        tid = tids[track]
+        mine = sorted(
+            (s for s in spans if s.track == track),
+            key=lambda s: (s.start, -s.end, s.span_id),
+        )
+        stack: list[Span] = []
+        for s in mine:
+            while stack and stack[-1].end <= s.start:
+                done = stack.pop()
+                events.append(
+                    {"name": done.name, "ph": "E", "pid": 0, "tid": tid,
+                     "ts": done.end * 1e6}
+                )
+            args = {k: v for k, v in s.attrs.items()}
+            if s.cpu:
+                args["cpu_s"] = s.cpu
+            events.append(
+                {"name": s.name, "ph": "B", "pid": 0, "tid": tid,
+                 "ts": s.start * 1e6, "args": args}
+            )
+            stack.append(s)
+        while stack:
+            done = stack.pop()
+            events.append(
+                {"name": done.name, "ph": "E", "pid": 0, "tid": tid,
+                 "ts": done.end * 1e6}
+            )
+    out = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        out["otherData"] = {"metrics": metrics.to_dict()}
+    return out
+
+
+def write_chrome_trace(
+    path, spans: list[Span], metrics: MetricsRegistry | None = None
+) -> str:
+    """Serialize :func:`chrome_trace` to *path*; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(spans, metrics=metrics)))
+    return str(path)
+
+
+def load_chrome_trace(path) -> tuple[list[Span], dict]:
+    """Read a written trace back into spans + the metrics snapshot.
+
+    Parentage is reconstructed from the per-track ``B``/``E`` nesting;
+    span ids are reassigned.  Raises ``ValueError`` on malformed files
+    (unbalanced events, unknown phases are skipped).
+    """
+    data = json.loads(Path(path).read_text())
+    events = data["traceEvents"] if isinstance(data, dict) else data
+    names: dict[int, str] = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            names[ev["tid"]] = ev.get("args", {}).get("name", f"tid:{ev['tid']}")
+    spans: list[Span] = []
+    stacks: dict[int, list[Span]] = {}
+    next_id = 1
+    for ev in events:
+        ph = ev.get("ph")
+        if ph not in ("B", "E"):
+            continue
+        tid = ev.get("tid", 0)
+        stack = stacks.setdefault(tid, [])
+        if ph == "B":
+            span = Span(
+                name=ev.get("name", "?"),
+                span_id=next_id,
+                parent_id=stack[-1].span_id if stack else None,
+                track=names.get(tid, f"tid:{tid}"),
+                start=ev.get("ts", 0.0) / 1e6,
+                end=ev.get("ts", 0.0) / 1e6,
+                attrs=dict(ev.get("args", {})),
+            )
+            next_id += 1
+            stack.append(span)
+        else:
+            if not stack:
+                raise ValueError(f"unbalanced E event on tid {tid}: {ev}")
+            span = stack.pop()
+            if ev.get("name") not in (None, span.name):
+                raise ValueError(
+                    f"E event {ev.get('name')!r} closes span {span.name!r} on tid {tid}"
+                )
+            span.end = ev.get("ts", 0.0) / 1e6
+            spans.append(span)
+    dangling = [s.name for st in stacks.values() for s in st]
+    if dangling:
+        raise ValueError(f"unclosed B events: {dangling}")
+    metrics = {}
+    if isinstance(data, dict):
+        metrics = data.get("otherData", {}).get("metrics", {})
+    return spans, metrics
+
+
+def metrics_to_json(metrics: MetricsRegistry) -> str:
+    """Flat JSON dump of a metrics registry."""
+    return json.dumps(metrics.to_dict(), indent=2, sort_keys=True)
+
+
+def metrics_to_csv(metrics: MetricsRegistry) -> str:
+    """Flat CSV dump: ``kind,name,value`` rows (histograms flattened into
+    ``sum``/``count``/``bucket_le_<b>`` rows)."""
+    snap = metrics.to_dict()
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["kind", "name", "value"])
+    for name, value in snap["counters"].items():
+        writer.writerow(["counter", name, value])
+    for name, value in snap["gauges"].items():
+        writer.writerow(["gauge", name, value])
+    for name, hist in snap["histograms"].items():
+        writer.writerow(["histogram", f"{name}.sum", hist["total"]])
+        writer.writerow(["histogram", f"{name}.count", hist["n"]])
+        edges = [*hist["boundaries"], "inf"]
+        for edge, count in zip(edges, hist["counts"]):
+            writer.writerow(["histogram", f"{name}.bucket_le_{edge}", count])
+    return buf.getvalue()
+
+
+def write_metrics(path, metrics: MetricsRegistry) -> str:
+    """Write the metrics dump to *path* (format from the extension:
+    ``.csv`` flat CSV, anything else JSON)."""
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        path.write_text(metrics_to_csv(metrics))
+    else:
+        path.write_text(metrics_to_json(metrics))
+    return str(path)
+
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "metrics_to_json",
+    "metrics_to_csv",
+    "write_metrics",
+]

@@ -1,0 +1,175 @@
+"""Thread-safe metrics: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per :class:`~repro.obs.span.Tracer` puts
+simulated-device numbers (:class:`~repro.gpu.costmodel.CostLedger` totals,
+absorbed by :func:`record_cost_ledger`) and measured host counters
+(:class:`~repro.batch.stats.BatchStats`, absorbed by
+:func:`record_batch_stats`) on one timeline next to the spans — the "where
+did this run spend its time" artifact the fragmented per-module stopwatches
+could not produce.  Everything here is stdlib-only and guarded by a single
+lock; the expected write rate (one update per kernel launch / per batch) is
+far below contention territory.
+
+Metric naming convention (see ``docs/observability.md`` for the full
+table): dotted lowercase paths, ``batch.*`` for host-side batch counters,
+``gpu.*`` for simulated-device totals, with histograms suffixed by their
+unit (``gpu.kernel_sim_seconds``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass, field, fields, is_dataclass
+
+#: Default histogram boundaries for durations in seconds (log-spaced).
+DEFAULT_TIME_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+@dataclass
+class Histogram:
+    """Fixed-boundary histogram: ``counts[i]`` holds observations ``<=
+    boundaries[i]``, the final bucket is the overflow."""
+
+    boundaries: tuple[float, ...] = DEFAULT_TIME_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    n: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.boundaries) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.n += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "total": self.total,
+            "n": self.n,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges and histograms.
+
+    Counters accumulate (``count``), gauges hold the last value (``gauge``),
+    histograms bucket observations (``observe``).  ``to_dict`` flattens the
+    registry for the JSON/CSV dumps of :mod:`repro.obs.export`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- writes ------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        boundaries: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(boundaries=boundaries)
+            hist.observe(value)
+
+    # -- reads -------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def histogram(self, name: str) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def to_dict(self) -> dict:
+        """Snapshot: ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    k: h.to_dict() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters/histogram cells add,
+        gauges take the other's value — last write wins)."""
+        snap = other.to_dict()
+        with self._lock:
+            for k, v in snap["counters"].items():
+                self._counters[k] = self._counters.get(k, 0.0) + v
+            self._gauges.update(snap["gauges"])
+            for k, h in snap["histograms"].items():
+                mine = self._histograms.get(k)
+                if mine is None or list(mine.boundaries) != h["boundaries"]:
+                    mine = self._histograms[k] = Histogram(
+                        boundaries=tuple(h["boundaries"])
+                    )
+                mine.counts = [a + b for a, b in zip(mine.counts, h["counts"])]
+                mine.total += h["total"]
+                mine.n += h["n"]
+
+
+def record_cost_ledger(registry: MetricsRegistry, ledger, prefix: str = "gpu.") -> None:
+    """Absorb a :class:`~repro.gpu.costmodel.CostLedger` total into counters.
+
+    Duck-typed (``ledger.total.flops`` etc.) so :mod:`repro.obs` stays free
+    of intra-repo imports.
+    """
+    registry.count(prefix + "sim_seconds", ledger.elapsed)
+    registry.count(prefix + "calls", ledger.calls)
+    registry.count(prefix + "flops", ledger.total.flops)
+    registry.count(prefix + "bytes_moved", ledger.total.bytes_moved)
+    registry.count(prefix + "launches", ledger.total.launches)
+
+
+def record_batch_stats(registry: MetricsRegistry, stats, prefix: str = "batch.") -> None:
+    """Absorb every numeric :class:`~repro.batch.stats.BatchStats` field.
+
+    Introspects the dataclass so new counters added to ``BatchStats`` land
+    in the registry automatically; dict-valued fields contribute their value
+    sum, string fields are skipped.
+    """
+    if not is_dataclass(stats):
+        raise TypeError(f"expected a dataclass, got {type(stats)!r}")
+    for f in fields(stats):
+        value = getattr(stats, f.name)
+        if isinstance(value, bool) or isinstance(value, str):
+            continue
+        if isinstance(value, dict):
+            registry.count(prefix + f.name, float(sum(value.values())))
+        elif isinstance(value, (int, float)):
+            registry.count(prefix + f.name, float(value))
+
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "record_cost_ledger",
+    "record_batch_stats",
+]

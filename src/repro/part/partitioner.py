@@ -37,6 +37,7 @@ import scipy.sparse as sp
 from scipy.sparse.csgraph import connected_components
 
 from repro.fem.mesh import Mesh
+from repro.obs import get_tracer
 from repro.util import require
 
 #: Graph-partitioning methods of :func:`partition_mesh` (``repro.dd.decompose``
@@ -171,10 +172,13 @@ def _bisect(
         owner[idx] = next_label
         return next_label + 1
     left_parts, right_parts, n_left = _bisection_sizes(idx.size, parts)
-    key = _rcb_key(centroids, idx) if method == "rcb" else _fiedler_key(
-        graph, centroids, idx
-    )
-    order = np.argsort(key, kind="stable")
+    with get_tracer().span(
+        "part.bisect", n_elements=int(idx.size), parts=parts, method=method
+    ):
+        key = _rcb_key(centroids, idx) if method == "rcb" else _fiedler_key(
+            graph, centroids, idx
+        )
+        order = np.argsort(key, kind="stable")
     next_label = _bisect(
         graph, centroids, method, owner, idx[order[:n_left]], left_parts, next_label
     )
@@ -399,7 +403,29 @@ def partition_mesh(
         f"cannot split {mesh.n_elements} elements into {n_parts} parts",
     )
     require(imbalance >= 0.0, "imbalance must be >= 0")
-    graph = element_dual_graph(mesh)
+    tracer = get_tracer()
+    with tracer.span(
+        "part.partition", n_elements=mesh.n_elements, n_parts=n_parts, method=method
+    ):
+        owner, counts, graph = _partition_stages(
+            mesh, n_parts, method, refine, imbalance, tracer
+        )
+    return PartitionResult(
+        owner=owner,
+        n_parts=n_parts,
+        method=method,
+        edge_cut=edge_cut(graph, owner),
+        balance=partition_balance(owner, n_parts),
+        counts=counts,
+        refined=refine,
+        seed=seed,
+    )
+
+
+def _partition_stages(mesh, n_parts, method, refine, imbalance, tracer):
+    """The staged partition pipeline, each stage a ``part.*`` span."""
+    with tracer.span("part.dual_graph"):
+        graph = element_dual_graph(mesh)
     n_comp, _ = connected_components(graph, directed=False)
     # The connected-parts guarantee is only meaningful on a connected mesh:
     # islands can neither be repaired into their part's component nor
@@ -414,22 +440,16 @@ def partition_mesh(
     centroids = mesh.coords[mesh.elements].mean(axis=1)
     owner = np.empty(mesh.n_elements, dtype=np.intp)
     _bisect(graph, centroids, method, owner, np.arange(mesh.n_elements), n_parts, 0)
-    owner = repair_connectivity(graph, owner, n_parts, imbalance=imbalance)
-    owner = rebalance_partition(graph, owner, n_parts, imbalance=imbalance)
+    with tracer.span("part.repair"):
+        owner = repair_connectivity(graph, owner, n_parts, imbalance=imbalance)
+    with tracer.span("part.rebalance"):
+        owner = rebalance_partition(graph, owner, n_parts, imbalance=imbalance)
     if refine:
-        owner = refine_partition(graph, owner, n_parts, imbalance=imbalance)
+        with tracer.span("part.refine"):
+            owner = refine_partition(graph, owner, n_parts, imbalance=imbalance)
     counts = np.bincount(owner, minlength=n_parts)
     require(int(counts.min()) >= 1, "partition produced an empty part")
-    return PartitionResult(
-        owner=owner,
-        n_parts=n_parts,
-        method=method,
-        edge_cut=edge_cut(graph, owner),
-        balance=partition_balance(owner, n_parts),
-        counts=counts,
-        refined=refine,
-        seed=seed,
-    )
+    return owner, counts, graph
 
 
 __all__ = [

@@ -19,7 +19,7 @@ from repro.runtime.scheduler import (
     host_worker_count,
     schedule_tasks,
 )
-from repro.runtime.trace import gantt, render_schedule
+from repro.obs.render import gantt, render_schedule
 
 __all__ = [
     "Task",

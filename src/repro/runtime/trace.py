@@ -1,54 +1,38 @@
-"""Timeline traces: text rendering of a schedule (poor man's Gantt chart)."""
+"""Deprecated import path — the renderings moved to :mod:`repro.obs.render`.
+
+``render_schedule`` and ``gantt`` are part of the unified observability
+layer now (one module for every human-readable timeline view).  This shim
+re-exports them with a :class:`DeprecationWarning`; import from
+``repro.obs`` (or ``repro.obs.render``) instead.
+"""
 
 from __future__ import annotations
 
-from repro.runtime.scheduler import Schedule
-from repro.util import Table, format_si, require
+import warnings
+
+from repro.obs.render import gantt as _gantt
+from repro.obs.render import render_schedule as _render_schedule
 
 
-def render_schedule(schedule: Schedule, max_rows: int = 40) -> str:
-    """Tabular rendering of a schedule ordered by start time."""
-    table = Table(["task", "resource", "worker", "start", "end", "duration"])
-    rows = sorted(schedule.tasks.values(), key=lambda t: (t.start, t.task_id))
-    for t in rows[:max_rows]:
-        table.add_row(
-            [
-                t.task_id,
-                t.resource,
-                t.worker,
-                format_si(t.start, "s"),
-                format_si(t.end, "s"),
-                format_si(t.end - t.start, "s"),
-            ]
-        )
-    out = table.render()
-    if len(rows) > max_rows:
-        out += f"\n... ({len(rows) - max_rows} more tasks)"
-    out += f"\nmakespan: {format_si(schedule.makespan, 's')}"
-    return out
+def _warn(name: str) -> None:
+    warnings.warn(
+        f"repro.runtime.trace.{name} moved to repro.obs.render.{name}; "
+        "the repro.runtime.trace shim will be removed",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def gantt(schedule: Schedule, resource: str, n_workers: int, width: int = 72) -> str:
-    """ASCII Gantt chart of one worker pool.
+def render_schedule(schedule, max_rows: int = 40) -> str:
+    """Deprecated alias of :func:`repro.obs.render.render_schedule`."""
+    _warn("render_schedule")
+    return _render_schedule(schedule, max_rows=max_rows)
 
-    Each row is a worker; each task paints its id's last character over its
-    time span.  Intended for debugging pipeline overlap, not for precision.
-    """
-    require(width >= 10, "width too small")
-    if schedule.makespan == 0:
-        return "(empty schedule)"
-    scale = width / schedule.makespan
-    rows = [[" "] * width for _ in range(n_workers)]
-    for t in sorted(schedule.tasks.values(), key=lambda t: t.start):
-        if t.resource != resource or t.worker >= n_workers:
-            continue
-        c0 = min(int(t.start * scale), width - 1)
-        c1 = min(max(int(t.end * scale), c0 + 1), width)
-        mark = t.task_id[-1]
-        for c in range(c0, c1):
-            rows[t.worker][c] = mark
-    lines = [f"{resource}[{i}] |{''.join(r)}|" for i, r in enumerate(rows)]
-    return "\n".join(lines)
+
+def gantt(schedule, resource: str, n_workers: int, width: int = 72) -> str:
+    """Deprecated alias of :func:`repro.obs.render.gantt`."""
+    _warn("gantt")
+    return _gantt(schedule, resource, n_workers, width=width)
 
 
 __all__ = ["render_schedule", "gantt"]

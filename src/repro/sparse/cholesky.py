@@ -25,6 +25,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.obs import get_tracer
 from repro.sparse.etree import elimination_tree, row_pattern
 from repro.sparse.ordering import compute_ordering
 from repro.sparse.triangular import TriangularSolver
@@ -133,20 +134,22 @@ def cholesky(
     """
     n = check_sparse_square(a, "a")
     require(engine in ENGINES, f"unknown engine {engine!r}")
-    if perm is None:
-        perm = compute_ordering(a, method=ordering, coords=coords)
-    else:
-        perm = check_permutation(perm, n, "perm")
-    ap = sp.csc_matrix(a.tocsr()[perm][:, perm])
+    with get_tracer().span("sparse.cholesky", n=n, nnz=int(a.nnz), engine=engine) as span:
+        if perm is None:
+            perm = compute_ordering(a, method=ordering, coords=coords)
+        else:
+            perm = check_permutation(perm, n, "perm")
+        ap = sp.csc_matrix(a.tocsr()[perm][:, perm])
 
-    if engine == "native":
-        l = _native_cholesky(ap)
-    else:
-        l = _superlu_cholesky(ap)
-        if conform:
-            l = conform_to_symbolic(l, ap)
+        if engine == "native":
+            l = _native_cholesky(ap)
+        else:
+            l = _superlu_cholesky(ap)
+            if conform:
+                l = conform_to_symbolic(l, ap)
 
-    counts = np.diff(l.indptr)
+        counts = np.diff(l.indptr)
+        span.set(nnz_l=int(l.nnz))
     return CholeskyFactor(l=l, perm=perm, flops=cholesky_flops(counts), engine=engine)
 
 

@@ -37,6 +37,7 @@ import scipy.linalg
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.obs import get_tracer
 from repro.util import check_lower_triangular, check_sparse_square, require
 
 _BACKENDS = ("auto", "python", "superlu", "dense")
@@ -103,16 +104,19 @@ def _solve_triangular(
     if method == "auto":
         method = "dense" if n <= _dense_cutoff else "superlu"
 
-    if method == "python":
-        x = _forward_python(l, b) if lower else _backward_python(l, b)
-    elif method == "dense":
-        ld = l.toarray()
-        x = scipy.linalg.solve_triangular(
-            ld, b, lower=True, trans="N" if lower else "T", unit_diagonal=unit_diagonal
-        )
-    else:  # superlu, amortized per factor object
-        solver = cached_triangular_solver(l)
-        x = solver.solve(b, transpose=not lower)
+    with get_tracer().span(
+        "sparse.trsm", n=n, nrhs=int(b.shape[1]), method=method, lower=lower
+    ):
+        if method == "python":
+            x = _forward_python(l, b) if lower else _backward_python(l, b)
+        elif method == "dense":
+            ld = l.toarray()
+            x = scipy.linalg.solve_triangular(
+                ld, b, lower=True, trans="N" if lower else "T", unit_diagonal=unit_diagonal
+            )
+        else:  # superlu, amortized per factor object
+            solver = cached_triangular_solver(l)
+            x = solver.solve(b, transpose=not lower)
     return x[:, 0] if squeeze else x
 
 

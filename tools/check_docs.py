@@ -40,14 +40,28 @@ DOC_FILES = (
     "docs/pipeline.md",
     "docs/batching.md",
     "docs/unstructured.md",
+    "docs/observability.md",
 )
 
 #: Files whose ``--flags`` must exist in ``python -m repro batch --help``.
-FLAG_DOC_FILES = ("README.md", "docs/batching.md", "docs/unstructured.md")
+FLAG_DOC_FILES = (
+    "README.md",
+    "docs/batching.md",
+    "docs/unstructured.md",
+    "docs/observability.md",
+)
 
 #: Documented flags that belong to other subcommands or to pytest, not to
 #: ``repro batch``.
-FLAG_ALLOWLIST = {"--paper-scale", "--out", "--approach", "--expected-iterations"}
+FLAG_ALLOWLIST = {
+    "--paper-scale",
+    "--out",
+    "--approach",
+    "--expected-iterations",
+    # flags of the `repro trace` subcommand, not `repro batch`
+    "--top",
+    "--depth",
+}
 
 
 def iter_links(md_path: Path):
