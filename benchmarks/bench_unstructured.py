@@ -11,6 +11,12 @@ rotation-invariant *pricing* layer of :mod:`repro.sparse.canonical`:
   (``signature_mode="near"``) groups the 32 singleton exact classes into
   at most half as many pricing classes (observed: 13-15 on seeds 0-4), so
   approach planning and cost estimation are charged per *class* again.
+* **Union execution** (the PR-7 assert): ``execution="union"`` pads the
+  members of each near class into the structural union of their patterns
+  and batches them exactly — the pricing-only classes above become
+  *executed* groups.  The run must execute at least one padded class, cut
+  total kernel launches by at least 2x vs per-member execution, and match
+  per-member numerics to tight allclose.
 * **Correctness**: grouped (stacked-kernel) execution matches per-member
   execution to tight allclose even when every group is a singleton.
 * **Speedup reporting**: grouped-vs-per-member wall clock and the
@@ -63,13 +69,17 @@ def _build(n_parts: int, cells: int, seed: int):
             items, execution="per-member"
         )
     member_wall = member.trace.total("batch.member")
-    return decomposition, baseline_cut, grouped, member, grouped_wall, member_wall
+    with tracing():
+        union = BatchAssembler(config=cfg, signature_mode="near").assemble_batch(
+            items, execution="union"
+        )
+    return decomposition, baseline_cut, grouped, member, union, grouped_wall, member_wall
 
 
 def test_unstructured_grouping_and_execution(benchmark):
     n_parts, cells = (32, 32) if PAPER_SCALE else (32, 24)
     seed = 0
-    decomposition, baseline_cut, grouped, member, grouped_wall, member_wall = (
+    decomposition, baseline_cut, grouped, member, union, grouped_wall, member_wall = (
         benchmark.pedantic(
             lambda: _build(n_parts, cells, seed), rounds=1, iterations=1
         )
@@ -103,7 +113,25 @@ def test_unstructured_grouping_and_execution(benchmark):
         scale = max(1.0, float(np.abs(res_m.f).max(initial=0.0)))
         assert np.allclose(res_g.f, res_m.f, rtol=RTOL, atol=ATOL * scale)
 
+    # Union execution turns pricing-only near classes into executed groups:
+    # at least one class runs padded, total kernel launches drop at least
+    # 2x vs per-member, and the padded numerics stay exact.
+    ustats = union.stats
+    union_launches = ustats.kernel_launches
+    member_launches = member.stats.kernel_launches
+    assert ustats.n_union_groups > 0, "no near class accepted for union execution"
+    assert union_launches * 2 <= member_launches, (
+        f"union execution launched {union_launches} kernel(s) vs "
+        f"{member_launches} per-member — less than the required 2x reduction"
+    )
+    for res_u, res_m in zip(union.results, member.results):
+        scale = max(1.0, float(np.abs(res_m.f).max(initial=0.0)))
+        assert np.allclose(res_u.f, res_m.f, rtol=RTOL, atol=ATOL * scale)
+
     speedup = member_wall / grouped_wall if grouped_wall > 0 else float("inf")
+    launch_reduction = (
+        member_launches / union_launches if union_launches else float("inf")
+    )
 
     benchmark.extra_info["n_subdomains"] = n
     benchmark.extra_info["n_exact_groups"] = stats.n_exact_groups
@@ -113,6 +141,13 @@ def test_unstructured_grouping_and_execution(benchmark):
     benchmark.extra_info["edge_cut"] = report.edge_cut
     benchmark.extra_info["partition_balance"] = report.balance
     benchmark.extra_info["unstructured_grouped_speedup"] = speedup
+    benchmark.extra_info["n_union_groups"] = ustats.n_union_groups
+    benchmark.extra_info["n_union_members"] = ustats.n_union_members
+    benchmark.extra_info["n_union_skipped"] = ustats.n_union_skipped
+    benchmark.extra_info["union_fill_ratio"] = ustats.union_fill_ratio
+    benchmark.extra_info["union_launches"] = union_launches
+    benchmark.extra_info["member_launches"] = member_launches
+    benchmark.extra_info["union_launch_reduction"] = launch_reduction
 
     print()
     print(f"jittered {cells}x{cells} square, {n} rcb subdomains (seed {seed})")
@@ -122,6 +157,10 @@ def test_unstructured_grouping_and_execution(benchmark):
           f"class(es) ({grouping_ratio:.2f}x)")
     print(f"execution wall: grouped {grouped_wall * 1e3:.1f} ms, "
           f"per-member {member_wall * 1e3:.1f} ms ({speedup:.2f}x)")
+    print(f"union:          {ustats.n_union_members} member(s) in "
+          f"{ustats.n_union_groups} padded class(es) at "
+          f"{ustats.union_fill_ratio:.2f}x fill, launches "
+          f"{member_launches} -> {union_launches} ({launch_reduction:.2f}x)")
 
 
 def test_unstructured_near_planning_collapses(benchmark):

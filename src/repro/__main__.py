@@ -12,7 +12,9 @@ Commands
     Batch-assemble all subdomains of a decomposition through the symbolic
     pattern cache (``repro.batch``) and report cache/throughput statistics
     plus the multi-stream pipeline makespan.  ``--execution`` selects the
-    numeric path (per-member kernels vs batched whole-group kernels);
+    numeric path (per-member kernels, batched whole-group kernels, or
+    ``union`` — near-signature classes padded into one shared pattern and
+    batched exactly, guarded by ``--union-fill-cap``);
     ``--workers`` fans independent groups across host threads;
     ``--no-canonicalize`` turns off orientation-canonical artifact sharing
     (mirror classes then execute as separate groups).  ``--mesh`` picks an
@@ -134,11 +136,17 @@ def _cmd_batch(args) -> int:
     config = default_config(args.device, mesh_dim)
     if args.device == "gpu":
         engine = BatchAssembler(
-            config=config, cache=cache, signature_mode=args.signature
+            config=config,
+            cache=cache,
+            signature_mode=args.signature,
+            union_fill_cap=args.union_fill_cap,
         )
     else:
         engine = BatchAssembler.for_cpu(
-            config=config, cache=cache, signature_mode=args.signature
+            config=config,
+            cache=cache,
+            signature_mode=args.signature,
+            union_fill_cap=args.union_fill_cap,
         )
     if args.trace or args.metrics_out:
         from repro.obs import tracing, write_metrics
@@ -239,9 +247,21 @@ def main(argv: list[str] | None = None) -> int:
     p_batch.add_argument(
         "--execution",
         default="auto",
-        choices=("per-member", "grouped", "auto"),
+        choices=("per-member", "grouped", "auto", "union"),
         help="numeric execution: per-item kernels, batched whole-group "
-        "kernels, or grouped-from-a-size-threshold (default: auto)",
+        "kernels, grouped-from-a-size-threshold (default: auto), or "
+        "union — pad near-signature classes into one shared pattern and "
+        "batch them exactly (pair with --signature near)",
+    )
+    p_batch.add_argument(
+        "--union-fill-cap",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fill-ratio cost guard for --execution union: skip padding a "
+        "near class when padded/exact stored entries exceed RATIO "
+        "(default: engine default, 8.0); skipped classes fall back to "
+        "the grouped path",
     )
     p_batch.add_argument(
         "--workers",

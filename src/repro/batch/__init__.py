@@ -20,13 +20,16 @@ system.
 
 from repro.batch.cache import CacheStats, PatternCache, SymbolicArtifacts
 from repro.batch.engine import (
+    DEFAULT_UNION_FILL_CAP,
     EXECUTION_MODES,
     GROUPED_AUTO_MAX_SPARSE_ORDER,
     GROUPED_AUTO_THRESHOLD,
+    UNION_FILL_BUCKETS,
     BatchAssembler,
     BatchItem,
     BatchResult,
     build_artifacts,
+    build_union_artifacts,
     items_from_decomposition,
     symbolic_analysis_cost,
 )
@@ -40,6 +43,7 @@ from repro.batch.fingerprint import (
     pattern_digest,
     rotation_fingerprint,
     subdomain_fingerprint,
+    union_fingerprint,
 )
 from repro.batch.stats import BatchStats
 
@@ -51,6 +55,8 @@ __all__ = [
     "EXECUTION_MODES",
     "GROUPED_AUTO_THRESHOLD",
     "GROUPED_AUTO_MAX_SPARSE_ORDER",
+    "DEFAULT_UNION_FILL_CAP",
+    "UNION_FILL_BUCKETS",
     "PatternCache",
     "CacheStats",
     "SymbolicArtifacts",
@@ -63,7 +69,9 @@ __all__ = [
     "geometric_fingerprint_for",
     "near_fingerprint",
     "rotation_fingerprint",
+    "union_fingerprint",
     "build_artifacts",
+    "build_union_artifacts",
     "items_from_decomposition",
     "symbolic_analysis_cost",
 ]

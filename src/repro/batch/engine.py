@@ -29,7 +29,7 @@ mapped back to each member's own multiplier order on the way out
 (``relabeling.unapply_sc``).  A floating 5x5 grid drops from 9 executed
 groups to 3; see ``docs/batching.md`` for the full mechanism.
 
-Numeric execution comes in three modes (``execution=``):
+Numeric execution comes in four modes (``execution=``):
 
 * ``"per-member"`` (default) — one :meth:`SchurAssembler.assemble` per item,
   bit-identical to independent assembly.
@@ -45,13 +45,24 @@ Numeric execution comes in three modes (``execution=``):
   large-order groups (above :data:`GROUPED_AUTO_MAX_SPARSE_ORDER`) also
   stay per-member: stacked kernels are dense, and a big sparse factor's
   SuperLU solves do far less host arithmetic.
+* ``"union"`` — grouped, plus the padded tier for unstructured
+  decompositions: near-signature classes spanning several exact
+  fingerprints (where ``"grouped"`` degrades to singleton groups) pad every
+  member into the class's structural pattern union with explicit zeros and
+  run one batched launch per kernel step for the whole class
+  (:meth:`SchurAssembler.assemble_union`).  Results stay exact — padding
+  inserts structural zeros only — at the price of
+  :attr:`~repro.sparse.canonical.UnionPlan.fill_ratio` times the stored
+  entries; classes above *union_fill_cap* (default
+  :data:`DEFAULT_UNION_FILL_CAP`) fall back to the exact paths.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
@@ -62,11 +73,16 @@ from repro.batch.fingerprint import (
     factor_fingerprint,
     geometric_fingerprint_for,
     pattern_digest,
+    union_fingerprint,
 )
 from repro.batch.stats import BatchStats
 from repro.core.assembler import SchurAssembler, SchurAssemblyResult, prepare_pattern
 from repro.core.config import AssemblyConfig
-from repro.core.estimate import FactorPattern, estimate_from_patterns
+from repro.core.estimate import (
+    FactorPattern,
+    estimate_from_patterns,
+    union_padding_overhead,
+)
 from repro.feti.timing import CHOLMOD, FactorizationLibrary
 from repro.gpu.costmodel import KernelCost, csx_bytes
 from repro.gpu.runtime import Executor
@@ -74,14 +90,25 @@ from repro.gpu.spec import A100_40GB, EPYC_7763_CORE, PCIE4_X16, DeviceSpec, Tra
 from repro.obs import Trace, get_tracer, record_batch_stats, record_cost_ledger
 from repro.runtime.pipeline import PipelineResult, SubdomainWork, run_preprocessing_pipeline
 from repro.runtime.scheduler import host_worker_count
-from repro.sparse.canonical import CanonicalRelabeling
+from repro.sparse.canonical import CanonicalRelabeling, UnionPlan, union_plan
 from repro.sparse.cholesky import CholeskyFactor
-from repro.sparse.symbolic import symbolic_from_factor
+from repro.sparse.symbolic import symbolic_from_factor, symbolic_from_pattern
 from repro.util import require
 
 
 #: Numeric-execution modes of :meth:`BatchAssembler.assemble_batch`.
-EXECUTION_MODES = ("per-member", "grouped", "auto")
+EXECUTION_MODES = ("per-member", "grouped", "auto", "union")
+
+#: Default fill-ratio cap of the ``"union"`` tier: a near class whose padded
+#: stacks would store/stream more than this multiple of the members' exact
+#: entries falls back to the exact paths.  Deliberately lenient — the
+#: batched kernels work on dense blocks, so moderate structural fill mostly
+#: costs entries that were transferred as dense zeros anyway, while the
+#: launch savings scale with the class size.
+DEFAULT_UNION_FILL_CAP = 8.0
+
+#: Histogram buckets of the ``batch.union_fill_ratio`` metric.
+UNION_FILL_BUCKETS = (1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
 
 #: Minimum group size at which ``execution="auto"`` picks the batched path.
 GROUPED_AUTO_THRESHOLD = 4
@@ -135,7 +162,9 @@ class BatchResult:
     coincide.  ``geometric_groups`` maps geometric fingerprint keys to
     member indices for the items that carried coordinates (empty
     otherwise) — the symmetry classes a structured decomposition's members
-    fall into.
+    fall into.  ``union_groups`` maps the geometric keys of the near
+    classes the ``"union"`` execution actually padded and batched to their
+    member indices (empty for every other mode).
 
     ``trace`` is the observability handle of the run — the spans and
     metrics collected while a :mod:`repro.obs` tracer was installed
@@ -151,6 +180,7 @@ class BatchResult:
     artifacts: dict[str, SymbolicArtifacts]
     exact_groups: dict[str, list[int]]
     geometric_groups: dict[str, list[int]]
+    union_groups: dict[str, list[int]] = field(default_factory=dict)
     trace: Trace | None = None
 
     @property
@@ -213,6 +243,49 @@ def build_artifacts(
     )
 
 
+def build_union_artifacts(
+    plan: UnionPlan,
+    config: AssemblyConfig,
+    spec: DeviceSpec,
+    transfer: TransferSpec | None,
+    fingerprint,
+) -> SymbolicArtifacts:
+    """Pattern-only analysis of one near class's *union* pattern.
+
+    The padded twin of :func:`build_artifacts`: stepped permutation,
+    pruning plan, cost estimate and memory footprint are computed on the
+    structural union — conservative supersets of every member's own
+    artifacts, so the padded numerics stay exact while the estimate prices
+    the padding fill faithfully.  Cached under the
+    :func:`~repro.batch.fingerprint.union_fingerprint` key: structurally
+    coincident unions (repeated local mesh topology) share one build.
+    """
+    n, m = plan.shape
+    with get_tracer().span("batch.symbolic", n=n, m=m, union=True):
+        patt = FactorPattern(
+            n=n,
+            indptr=np.asarray(plan.l_union.indptr),
+            indices=np.asarray(plan.l_union.indices),
+        )
+        prepared = prepare_pattern(
+            plan.bt_union.pattern_csc(), config, factor_pattern=patt
+        )
+        estimate = estimate_from_patterns(patt, prepared.shape, config, spec, transfer)
+        assembler = SchurAssembler(config=config, spec=spec, transfer=transfer)
+        # FactorPattern quacks enough like a factor for the memory model
+        # (order + stored entries are all it reads).
+        memory = assembler.estimate_memory(patt, m)
+    return SymbolicArtifacts(
+        fingerprint=fingerprint,
+        prepared=prepared,
+        factor_pattern=patt,
+        symbolic=symbolic_from_pattern(plan.l_union.indptr, plan.l_union.indices, n),
+        estimate=estimate,
+        memory=memory,
+        analysis_seconds=symbolic_analysis_cost(n, patt.nnz, m, plan.bt_union.nnz),
+    )
+
+
 class BatchAssembler:
     """Assembles *populations* of subdomains with symbolic-pattern reuse.
 
@@ -233,6 +306,7 @@ class BatchAssembler:
         signature_mode: str = "frame",
         near_size_tolerance: float | None = None,
         near_shape_tolerance: float | None = None,
+        union_fill_cap: float | None = None,
     ) -> None:
         from repro.sparse.canonical import (
             DEFAULT_NEAR_SHAPE_TOLERANCE,
@@ -270,6 +344,12 @@ class BatchAssembler:
         #: congruence — the mode for METIS-like decompositions, where exact
         #: classes are almost all singletons).
         self.signature_mode = signature_mode
+        #: Fill-ratio guard of ``execution="union"``: near classes whose
+        #: padded stacks would exceed this multiple of the members' exact
+        #: stored entries fall back to the exact execution paths.
+        self.union_fill_cap = (
+            DEFAULT_UNION_FILL_CAP if union_fill_cap is None else union_fill_cap
+        )
 
     @classmethod
     def for_cpu(
@@ -281,6 +361,7 @@ class BatchAssembler:
         signature_mode: str = "frame",
         near_size_tolerance: float | None = None,
         near_shape_tolerance: float | None = None,
+        union_fill_cap: float | None = None,
     ) -> "BatchAssembler":
         cpu = SchurAssembler.for_cpu(config=config)
         return cls(
@@ -293,6 +374,7 @@ class BatchAssembler:
             signature_mode=signature_mode,
             near_size_tolerance=near_size_tolerance,
             near_shape_tolerance=near_shape_tolerance,
+            union_fill_cap=union_fill_cap,
         )
 
     @property
@@ -368,9 +450,13 @@ class BatchAssembler:
             ``"per-member"`` (default, bit-identical per-item assembly),
             ``"grouped"`` (batched whole-group kernels; allclose to
             per-member at tight tolerance, one launch per kernel step per
-            group), or ``"auto"`` (grouped from
+            group), ``"auto"`` (grouped from
             :data:`GROUPED_AUTO_THRESHOLD` members per group, capped at
-            :data:`GROUPED_AUTO_MAX_SPARSE_ORDER` for sparse storage).
+            :data:`GROUPED_AUTO_MAX_SPARSE_ORDER` for sparse storage), or
+            ``"union"`` (grouped, plus near-signature classes spanning
+            several exact fingerprints execute padded into their structural
+            pattern union — exact numerics, one batched launch per kernel
+            step per class, guarded by ``union_fill_cap``).
         n_workers:
             Host threads for fanning independent grouped groups out in
             parallel: ``1`` (default) is serial, ``None`` takes every host
@@ -445,6 +531,7 @@ class BatchAssembler:
         geometric_groups: dict[str, list[int]] = {}
         artifacts: dict[str, SymbolicArtifacts] = {}
         bt_rows_all: list[sp.csc_matrix | None] = []
+        key_of: list[str] = []
         analysis = 0.0
         saved = 0.0
         with tracer.span("batch.analyze", n_items=len(norm)):
@@ -468,6 +555,7 @@ class BatchAssembler:
                 bt_rows_all.append(bt_rows if execute and not stream else None)
                 art, hit = self.analyze(item.factor, item.bt, bt_rows=bt_rows)
                 key = art.fingerprint.key
+                key_of.append(key)
                 groups.setdefault(key, []).append(idx)
                 artifacts[key] = art
                 if rel is None:
@@ -521,13 +609,81 @@ class BatchAssembler:
                     )
                     group_execute_seconds[key] = group_execute_seconds.get(key, 0.0) + dt
 
-        # --- execution phase (grouped / auto) -------------------------------
+        # --- union planning (execution == "union"): pad near classes --------
+        # A near class is worth padding when it spans several exact
+        # fingerprints (the grouped path already batches a single exact
+        # class) and its structural fill stays under the cap.
+        union_groups: dict[str, list[int]] = {}
+        union_plans: dict[str, UnionPlan] = {}
+        union_arts: dict[str, SymbolicArtifacts] = {}
+        in_union: set[int] = set()
+        n_union_skipped = 0
+        union_padded_nnz = 0.0
+        union_member_nnz = 0.0
+        if execute and norm and execution == "union":
+            extra = self._fingerprint_extra()
+            for geo_key, members in geometric_groups.items():
+                if len(members) < 2 or len({key_of[i] for i in members}) < 2:
+                    continue
+                with tracer.span(
+                    "batch.union_pad", group=geo_key[:16], n_members=len(members)
+                ):
+                    plan = union_plan(
+                        [norm[i].factor.l for i in members],
+                        [bt_rows_all[i] for i in members],
+                    )
+                if tracer.enabled:
+                    tracer.metrics.observe(
+                        "batch.union_fill_ratio",
+                        plan.fill_ratio,
+                        boundaries=UNION_FILL_BUCKETS,
+                    )
+                if plan.fill_ratio > self.union_fill_cap:
+                    n_union_skipped += 1
+                    continue
+                ufp = union_fingerprint(plan.l_union, plan.bt_union, extra=extra)
+                art, hit = self.cache.get_or_build(
+                    ufp.key,
+                    lambda: build_union_artifacts(
+                        plan,
+                        self.config,
+                        self.assembler.spec,
+                        self.assembler.transfer,
+                        ufp,
+                    ),
+                )
+                if hit:
+                    saved += art.analysis_seconds
+                else:
+                    analysis += art.analysis_seconds
+                if tracer.enabled:
+                    tracer.metrics.observe(
+                        "batch.union_overhead_seconds",
+                        union_padding_overhead(
+                            art.estimate,
+                            [artifacts[key_of[i]].estimate for i in members],
+                        ),
+                    )
+                union_groups[geo_key] = members
+                union_plans[geo_key] = plan
+                union_arts[geo_key] = art
+                in_union.update(members)
+                union_padded_nnz += plan.padded_nnz
+                union_member_nnz += plan.member_nnz
+
+        # --- execution phase (grouped / auto / union) ------------------------
         if execute and norm and not stream:
             with tracer.span("batch.execute", execution=execution):
                 exec_t0 = time.perf_counter()
+                # Union-mode members executing padded leave their exact
+                # groups; the remainder runs the exact paths unchanged.
+                exec_members = {
+                    key: [i for i in members if i not in in_union]
+                    for key, members in groups.items()
+                }
 
                 def auto_picks_grouped(key: str) -> bool:
-                    if len(groups[key]) < GROUPED_AUTO_THRESHOLD:
+                    if len(exec_members[key]) < GROUPED_AUTO_THRESHOLD:
                         return False
                     return (
                         self.config.factor_storage == "dense"
@@ -537,11 +693,12 @@ class BatchAssembler:
                 grouped_keys = [
                     key
                     for key in groups
-                    if execution == "grouped" or auto_picks_grouped(key)
+                    if exec_members[key]
+                    and (execution in ("grouped", "union") or auto_picks_grouped(key))
                 ]
                 grouped_set = set(grouped_keys)
                 # Per-member members first (serial; bit-identical path).
-                for key, members in groups.items():
+                for key, members in exec_members.items():
                     if key in grouped_set:
                         continue
                     for idx in members:
@@ -566,7 +723,7 @@ class BatchAssembler:
                 # Grouped groups: whole-group batched kernels, one executor per
                 # group so independent groups can run on parallel host threads.
                 def run_group(key: str):
-                    members = groups[key]
+                    members = exec_members[key]
                     gex = Executor(self.assembler.spec)
                     w0 = time.perf_counter()
                     with tracer.span(
@@ -581,25 +738,51 @@ class BatchAssembler:
                         )
                     for i in members:
                         bt_rows_all[i] = None  # stacked: copy no longer needed
-                    return key, res, gex, time.perf_counter() - w0
+                    return key, members, res, gex, time.perf_counter() - w0
 
-                workers = host_worker_count(n_workers, n_tasks=len(grouped_keys))
-                if workers > 1 and len(grouped_keys) > 1:
+                # Union classes: whole-class padded batched kernels, same
+                # one-executor-per-task fan-out as the exact groups.
+                def run_union(geo_key: str):
+                    members = union_groups[geo_key]
+                    gex = Executor(self.assembler.spec)
+                    w0 = time.perf_counter()
+                    with tracer.span(
+                        "batch.union",
+                        group=geo_key[:16],
+                        n_members=len(members),
+                        fill_ratio=round(union_plans[geo_key].fill_ratio, 3),
+                    ):
+                        res = self.assembler.assemble_union(
+                            [norm[i].factor for i in members],
+                            [bt_rows_all[i] for i in members],
+                            union_plans[geo_key],
+                            executor=gex,
+                            prepared=union_arts[geo_key].prepared,
+                        )
+                    for i in members:
+                        bt_rows_all[i] = None
+                    return f"union:{geo_key}", members, res, gex, time.perf_counter() - w0
+
+                tasks = [(run_group, key) for key in grouped_keys] + [
+                    (run_union, key) for key in union_groups
+                ]
+                workers = host_worker_count(n_workers, n_tasks=len(tasks))
+                if workers > 1 and len(tasks) > 1:
                     with ThreadPoolExecutor(max_workers=workers) as pool:
-                        outcomes = list(pool.map(run_group, grouped_keys))
+                        outcomes = list(pool.map(lambda t: t[0](t[1]), tasks))
                 else:
-                    outcomes = [run_group(key) for key in grouped_keys]
-                for key, res, gex, wall in outcomes:
-                    for idx, r in zip(groups[key], res):
+                    outcomes = [fn(key) for fn, key in tasks]
+                for label, members, res, gex, wall in outcomes:
+                    for idx, r in zip(members, res):
                         results[idx] = r
                     ex.ledger.absorb(gex.ledger)
-                    group_launches[key] = (
-                        group_launches.get(key, 0) + gex.ledger.total.launches
+                    group_launches[label] = (
+                        group_launches.get(label, 0) + gex.ledger.total.launches
                     )
-                    group_execute_seconds[key] = (
-                        group_execute_seconds.get(key, 0.0) + wall
+                    group_execute_seconds[label] = (
+                        group_execute_seconds.get(label, 0.0) + wall
                     )
-                    n_grouped += len(groups[key])
+                    n_grouped += len(members)
                 execute_seconds += time.perf_counter() - exec_t0
         if execute and norm:
             launches = ex.ledger.total.launches - base_launches
@@ -613,6 +796,28 @@ class BatchAssembler:
                         results[idx].f = item.relabeling.unapply_sc(results[idx].f)
             if tracer.enabled:
                 record_cost_ledger(tracer.metrics, ex.ledger)
+
+        n_degraded = 0
+        if (
+            execute
+            and execution == "grouped"
+            and len(norm) > 1
+            and groups
+            and all(len(m) == 1 for m in groups.values())
+        ):
+            # Grouped execution silently degraded: every exact class is a
+            # singleton, so the batched kernels launched once per member and
+            # saved nothing over per-member execution.
+            n_degraded = 1
+            warnings.warn(
+                f"grouped execution degraded: all {len(groups)} exact "
+                f"fingerprint classes of {len(norm)} subdomains are "
+                "singletons, so batched kernels gained nothing — "
+                "execution='union' pads near-signature classes into shared "
+                "patterns and batches them exactly",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
         after = self.cache.stats
         stats = BatchStats(
@@ -637,6 +842,12 @@ class BatchAssembler:
             execute_seconds=execute_seconds,
             group_execute_seconds=group_execute_seconds,
             group_launches=group_launches,
+            n_union_groups=len(union_groups),
+            n_union_members=sum(len(m) for m in union_groups.values()),
+            n_union_skipped=n_union_skipped,
+            union_padded_nnz=union_padded_nnz,
+            union_member_nnz=union_member_nnz,
+            n_degraded=n_degraded,
         )
         return BatchResult(
             results=results,
@@ -646,6 +857,7 @@ class BatchAssembler:
             artifacts=artifacts,
             exact_groups=exact_groups,
             geometric_groups=geometric_groups,
+            union_groups=union_groups,
         )
 
     def plan_batch(self, items: list[BatchItem | tuple]) -> BatchResult:
@@ -737,7 +949,10 @@ __all__ = [
     "EXECUTION_MODES",
     "GROUPED_AUTO_THRESHOLD",
     "GROUPED_AUTO_MAX_SPARSE_ORDER",
+    "DEFAULT_UNION_FILL_CAP",
+    "UNION_FILL_BUCKETS",
     "build_artifacts",
+    "build_union_artifacts",
     "items_from_decomposition",
     "symbolic_analysis_cost",
 ]

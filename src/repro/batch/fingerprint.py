@@ -319,6 +319,32 @@ def near_fingerprint(
     )
 
 
+def union_fingerprint(l_union, bt_union, extra: str = "") -> Fingerprint:
+    """Cache key of one union-pattern artifact set (the padded tier).
+
+    Hashes the two union patterns (:class:`repro.sparse.canonical.PatternUnion`
+    of the members' factor and permuted-gluing patterns) — the full input of
+    the union's pattern-only analysis, exactly like :func:`factor_fingerprint`
+    hashes the exact analysis input.  Two near classes whose unions coincide
+    structurally (common on meshes with repeated local topology) share one
+    stepped permutation, pruning plan and cost estimate.  *extra* mixes in
+    the configuration/device identity, as everywhere.
+    """
+    h = hashlib.sha256()
+    for patt in (l_union, bt_union):
+        _update(h, np.asarray(patt.shape))
+        _update(h, patt.indptr)
+        _update(h, patt.indices)
+    h.update(b"union|")
+    h.update(extra.encode())
+    return Fingerprint(
+        key=h.hexdigest(),
+        n=int(l_union.shape[0]),
+        m=int(bt_union.shape[1]),
+        nnz=int(l_union.nnz),
+    )
+
+
 #: Geometric pricing-signature modes accepted by
 #: :class:`repro.batch.engine.BatchAssembler` and
 #: :func:`repro.feti.planner.plan_population`: ``"frame"`` (translation +
@@ -366,4 +392,5 @@ __all__ = [
     "geometric_fingerprint_for",
     "near_fingerprint",
     "rotation_fingerprint",
+    "union_fingerprint",
 ]

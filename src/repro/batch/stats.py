@@ -42,6 +42,15 @@ class BatchStats:
     host wall clock and launch count per fingerprint group (keyed like
     :attr:`~repro.batch.engine.BatchResult.groups`) — the numbers behind the
     grouped-vs-per-member speedup benchmark.
+
+    The union counters describe the padded tier (``execution="union"``):
+    ``n_union_groups`` near classes executed padded with ``n_union_members``
+    members total, ``n_union_skipped`` classes that tripped the fill-cap
+    guard, and ``union_padded_nnz``/``union_member_nnz`` the padded vs exact
+    stored entries of the executed classes (additive across merges; their
+    ratio is :attr:`union_fill_ratio`).  ``n_degraded`` counts batches whose
+    grouped execution silently degraded to all-singleton groups — the case
+    the union tier exists for.
     """
 
     n_subdomains: int = 0
@@ -63,6 +72,12 @@ class BatchStats:
     execute_seconds: float = 0.0
     group_execute_seconds: dict[str, float] = field(default_factory=dict)
     group_launches: dict[str, int] = field(default_factory=dict)
+    n_union_groups: int = 0
+    n_union_members: int = 0
+    n_union_skipped: int = 0
+    union_padded_nnz: float = 0.0
+    union_member_nnz: float = 0.0
+    n_degraded: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -90,6 +105,16 @@ class BatchStats:
         """Fraction of executed groups with exactly one member."""
         return (
             self.n_singleton_groups / self.n_groups if self.n_groups else 0.0
+        )
+
+    @property
+    def union_fill_ratio(self) -> float:
+        """Padded over exact stored entries of the union-executed classes
+        (1.0 when nothing ran padded)."""
+        return (
+            self.union_padded_nnz / self.union_member_nnz
+            if self.union_member_nnz
+            else 1.0
         )
 
     @property
@@ -138,6 +163,12 @@ class BatchStats:
                 self.group_execute_seconds, other.group_execute_seconds
             ),
             group_launches=merge_dicts(self.group_launches, other.group_launches),
+            n_union_groups=self.n_union_groups + other.n_union_groups,
+            n_union_members=self.n_union_members + other.n_union_members,
+            n_union_skipped=self.n_union_skipped + other.n_union_skipped,
+            union_padded_nnz=self.union_padded_nnz + other.union_padded_nnz,
+            union_member_nnz=self.union_member_nnz + other.union_member_nnz,
+            n_degraded=self.n_degraded + other.n_degraded,
         )
 
     def summary(self) -> str:
@@ -178,6 +209,19 @@ class BatchStats:
                 f"{self.n_subdomains} member(s) batched, "
                 f"{self.kernel_launches} kernel launch(es), "
                 f"{self.execute_seconds * 1e3:.3f} ms host wall"
+            )
+        if self.n_union_groups or self.n_union_skipped:
+            lines.append(
+                f"union:             {self.n_union_members} member(s) padded "
+                f"into {self.n_union_groups} near class(es) at "
+                f"{self.union_fill_ratio:.2f}x fill, "
+                f"{self.n_union_skipped} class(es) over the fill cap"
+            )
+        if self.n_degraded:
+            lines.append(
+                f"degraded:          {self.n_degraded} batch(es) with only "
+                f"singleton groups — grouped execution gained nothing "
+                f"(consider execution='union')"
             )
         return "\n".join(line for line in lines if line)
 

@@ -47,8 +47,14 @@ from repro.core.trsm_split import (
 from repro.gpu.costmodel import FLOAT64_BYTES, csx_bytes, dense_bytes
 from repro.gpu.runtime import Executor
 from repro.gpu.spec import A100_40GB, EPYC_7763_CORE, PCIE4_X16, DeviceSpec, TransferSpec
+from repro.sparse.canonical import UnionPlan
 from repro.sparse.cholesky import CholeskyFactor
-from repro.sparse.stacked import StackedCSC, stack_permuted_dense
+from repro.sparse.stacked import (
+    StackedCSC,
+    stack_into_union,
+    stack_permuted_dense,
+    stack_union_permuted_dense,
+)
 from repro.util import require
 
 
@@ -385,7 +391,47 @@ class SchurAssembler:
             h2d_bytes = csx_bytes(stacked_l.nnz, n) + dense_bytes((n, m))
             breakdown["transfer"] += self.transfer.time(g * h2d_bytes)
 
-        # --- batched TRSM ----------------------------------------------------
+        f_out = self._batched_trsm_syrk(
+            ex, stacked_l, x_stack, shape, plan, col_perm, breakdown
+        )
+
+        share = {k: v / g for k, v in breakdown.items()}
+        elapsed = sum(share.values())
+        return [
+            SchurAssemblyResult(
+                f=f_out[i],
+                elapsed=elapsed,
+                breakdown=dict(share),
+                shape=shape,
+                col_perm=col_perm,
+                # Copy: a view would pin the whole group stack through any
+                # single retained result.
+                y=x_stack[i].copy() if keep_y else None,
+            )
+            for i in range(g)
+        ]
+
+    def _batched_trsm_syrk(
+        self,
+        ex: Executor,
+        stacked_l: StackedCSC,
+        x_stack: np.ndarray,
+        shape: SteppedShape,
+        plan: PruningPlan | None,
+        col_perm: np.ndarray,
+        breakdown: dict[str, float],
+    ) -> np.ndarray:
+        """Batched TRSM → SYRK → inverse symmetric permute.
+
+        The shared kernel tail of :meth:`assemble_group` (exact stacked
+        patterns) and :meth:`assemble_union` (padded union patterns): the
+        kernels are pattern-driven, so the two paths differ only in how the
+        stacks were packed.  Mutates *x_stack* in place (the TRSM solution)
+        and accumulates the per-stage simulated seconds into *breakdown*.
+        """
+        cfg = self.config
+        g, _, m = x_stack.shape
+        mark = ex.elapsed
         if cfg.trsm_variant == "orig":
             batched_trsm_orig(ex, stacked_l, x_stack, storage=cfg.factor_storage)
         elif cfg.trsm_variant == "rhs_split":
@@ -406,7 +452,6 @@ class SchurAssembler:
         breakdown["trsm"] += ex.elapsed - mark
         mark = ex.elapsed
 
-        # --- batched SYRK ----------------------------------------------------
         f_stack = np.zeros((g, m, m), dtype=np.float64)
         if cfg.syrk_variant == "orig":
             batched_syrk_orig(ex, x_stack, f_stack)
@@ -417,22 +462,116 @@ class SchurAssembler:
         breakdown["syrk"] += ex.elapsed - mark
         mark = ex.elapsed
 
-        # --- permute every SC back to the original multiplier order ---------
         f_out = ex.batched_symmetric_permute(f_stack, col_perm, inverse=True)
         breakdown["permute"] += ex.elapsed - mark
+        return f_out
+
+    def assemble_union(
+        self,
+        factors: list[CholeskyFactor],
+        bt_rows: list[sp.spmatrix],
+        plan: "UnionPlan",
+        executor: Executor | None = None,
+        prepared: PreparedPattern | None = None,
+    ) -> list[SchurAssemblyResult]:
+        """Assemble one *near class* through padded batched kernels.
+
+        The value-tolerant tier between :meth:`assemble_group` and
+        per-member :meth:`assemble`: members need not share a pattern — or
+        even a size.  Every member embeds at the identity prefix of the
+        class's structural union (:func:`repro.sparse.canonical.union_plan`),
+        so the stacked factor is ``[[L, 0], [0, I]]`` and the stacked RHS
+        ``[[X], [0]]``; the padding positions hold explicit zeros (and a
+        unit diagonal), which forward substitution and the Gram product map
+        to structural zeros — each member's Schur complement is recovered
+        *exactly* from the leading block, no values approximated, while the
+        whole class pays one kernel launch per step.
+
+        The trade is fill: the padded stacks store and stream
+        ``plan.fill_ratio`` times the members' exact entries, priced
+        faithfully by the kernels (padded flops/bytes are charged like any
+        other entries).  The batch engine guards this with its
+        ``union_fill_cap``.
+
+        Parameters
+        ----------
+        factors / bt_rows:
+            The members' factors and *row-permuted* (and, for canonical
+            items, column-canonicalized) gluing matrices — the same objects
+            :func:`repro.sparse.canonical.union_plan` consumed; shapes and
+            stored patterns must match the plan member-for-member.
+        plan:
+            The class's :class:`~repro.sparse.canonical.UnionPlan`.
+        prepared:
+            Pattern artifacts of the *union* pattern (stepped permutation +
+            pruning plan built on the union, conservative supersets of
+            every member's); built ad hoc when omitted.
+
+        Returns one :class:`SchurAssemblyResult` per member, with ``f``
+        sliced to the member's own ``(m, m)`` multiplier block and the
+        breakdown an equal share of the group total, mirroring
+        :meth:`assemble_group`.
+        """
+        g = len(factors)
+        require(g >= 1, "assemble_union needs at least one member")
+        require(
+            len(bt_rows) == g and plan.group == g,
+            "factors, bt_rows and plan members must agree",
+        )
+        n, m = plan.shape
+        cfg = self.config
+        ex = executor if executor is not None else Executor(self.spec)
+        breakdown = {"transfer": 0.0, "permute": 0.0, "trsm": 0.0, "syrk": 0.0}
+        mark = ex.elapsed
+
+        # --- pad the class into the union pattern (host side) ----------------
+        bt_rows = [b.tocsc() for b in bt_rows]
+        stacked_l = stack_into_union(
+            [f.l for f in factors], plan.l_union, pad_diagonal=True
+        )
+        if prepared is not None:
+            require(
+                prepared.shape.n_rows == n and prepared.shape.n_cols == m,
+                "prepared pattern does not match the union shape",
+            )
+        else:
+            from repro.core.estimate import FactorPattern
+
+            prepared = prepare_pattern(
+                plan.bt_union.pattern_csc(),
+                cfg,
+                factor_pattern=FactorPattern(
+                    n=n,
+                    indptr=np.asarray(plan.l_union.indptr),
+                    indices=np.asarray(plan.l_union.indices),
+                ),
+            )
+        col_perm = prepared.col_perm
+        x_stack = stack_union_permuted_dense(bt_rows, plan.bt_union, col_perm)
+        ex.charge_bytes(2.0 * x_stack.size * FLOAT64_BYTES)
+        breakdown["permute"] += ex.elapsed - mark
+
+        # --- transfers (GPU only): every member ships the padded size --------
+        if self.transfer is not None:
+            h2d_bytes = csx_bytes(stacked_l.nnz, n) + dense_bytes((n, m))
+            breakdown["transfer"] += self.transfer.time(g * h2d_bytes)
+
+        f_out = self._batched_trsm_syrk(
+            ex, stacked_l, x_stack, prepared.shape, prepared.pruning_plan,
+            col_perm, breakdown,
+        )
 
         share = {k: v / g for k, v in breakdown.items()}
         elapsed = sum(share.values())
+        # Host-side slice back to each member's own multiplier block — like
+        # the engine's unrelabel step, a pure uncharged gather.
         return [
             SchurAssemblyResult(
-                f=f_out[i],
+                f=plan.embeddings[i].extract_sc(f_out[i]),
                 elapsed=elapsed,
                 breakdown=dict(share),
-                shape=shape,
+                shape=prepared.shape,
                 col_perm=col_perm,
-                # Copy: a view would pin the whole group stack through any
-                # single retained result.
-                y=x_stack[i].copy() if keep_y else None,
             )
             for i in range(g)
         ]

@@ -325,6 +325,35 @@ def estimate_from_patterns(
     return breakdown
 
 
+def padding_fill_ratio(padded_nnz: float, member_nnz: float) -> float:
+    """Stored-entry overhead of padded union execution.
+
+    ``padded_nnz`` is what one batched union run stores and streams
+    (``group * (nnz(L_union) + nnz(bt_union))``), ``member_nnz`` what the
+    members would store run exactly per-member.  The ratio is the engine's
+    guard input: above ``union_fill_cap`` the extra flops/bytes of the
+    padding eat the launch savings and the class falls back to per-member
+    execution (:data:`repro.batch.engine.DEFAULT_UNION_FILL_CAP`).
+    """
+    return padded_nnz / member_nnz if member_nnz else 1.0
+
+
+def union_padding_overhead(
+    union_estimate: dict[str, float], member_estimates: list[dict[str, float]]
+) -> float:
+    """Priced padding overhead of one union class, in simulated seconds.
+
+    The batched union run charges every member the padded-pattern kernel
+    costs, so its priced total is ``group * union_estimate["total"]``; the
+    exact per-member runs would charge each member its own estimate.  The
+    difference is what the padding costs in flops/traffic — what the launch
+    savings of the batched kernels (not visible in these per-member
+    estimates; the executor ledger counts launches) must pay for.
+    """
+    g = len(member_estimates)
+    return g * union_estimate["total"] - sum(e["total"] for e in member_estimates)
+
+
 def estimate_assembly(
     factor: CholeskyFactor,
     bt: sp.spmatrix,
@@ -350,4 +379,10 @@ def estimate_assembly(
     return estimate_from_patterns(patt, shape, config, spec, transfer)
 
 
-__all__ = ["estimate_assembly", "estimate_from_patterns", "FactorPattern"]
+__all__ = [
+    "estimate_assembly",
+    "estimate_from_patterns",
+    "padding_fill_ratio",
+    "union_padding_overhead",
+    "FactorPattern",
+]

@@ -20,7 +20,14 @@ The batched TRSM is a blocked forward substitution: stacked ``(group, b, b)``
 diagonal solves via ``np.linalg.solve`` followed by broadcasted GEMM updates.
 
 The batched facade is what :meth:`repro.core.assembler.SchurAssembler.assemble_group`
-drives for one canonical class of subdomains; ``docs/batching.md``
+drives for one canonical class of subdomains — and what
+:meth:`~repro.core.assembler.SchurAssembler.assemble_union` drives for one
+*near* class padded into its structural pattern union: the kernels are
+pattern-driven, so padded stacks (``[[L, 0], [0, I]]`` factors with
+explicit structural zeros) run unchanged and price the padding fill
+faithfully — every padded entry is charged like a real one, which is why
+the batch engine guards the union tier with a fill-ratio cap
+(:data:`repro.batch.engine.DEFAULT_UNION_FILL_CAP`).  ``docs/batching.md``
 describes the grouped execution path end to end, ``docs/pipeline.md`` the
 per-kernel roles inside one assembly.
 """

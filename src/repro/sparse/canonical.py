@@ -805,6 +805,249 @@ def canonical_relabeling(
     )
 
 
+# ---------------------------------------------------------------------------
+# Union patterns: padded exact execution of near-congruent members
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnionEmbedding:
+    """Injective index maps embedding one member into a union pattern.
+
+    ``rows[i]`` is the union row holding member row *i* and ``cols[j]`` the
+    union column holding member multiplier *j*.  The construction used by
+    :func:`union_plan` is the identity prefix — member index *i* maps to
+    union index *i* — which keeps the maps trivially injective and makes
+    the inverse a plain leading slice, but the extraction below only relies
+    on injectivity, so tests can exercise arbitrary embeddings.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name, arr in (("rows", self.rows), ("cols", self.cols)):
+            require(
+                np.unique(np.asarray(arr)).size == np.asarray(arr).size,
+                f"embedding {name} must be injective",
+            )
+
+    @property
+    def n_rows(self) -> int:
+        return int(np.asarray(self.rows).size)
+
+    @property
+    def n_cols(self) -> int:
+        return int(np.asarray(self.cols).size)
+
+    def extract_sc(self, f_union: np.ndarray) -> np.ndarray:
+        """Member Schur complement out of a union-shaped SC.
+
+        The exact inverse of the padded assembly: padding columns carry
+        structural zeros through TRSM/SYRK, so the member's ``(m, m)``
+        block is bit-equal to what the unpadded assembly of that member
+        would have produced (up to kernel association order).
+        """
+        f_union = np.asarray(f_union)
+        require(
+            f_union.ndim == 2 and f_union.shape[0] == f_union.shape[1],
+            "f_union must be square",
+        )
+        cols = np.asarray(self.cols, dtype=np.intp)
+        return np.ascontiguousarray(f_union[np.ix_(cols, cols)])
+
+
+@dataclass(frozen=True)
+class PatternUnion:
+    """Structural union of several same-role sparse patterns.
+
+    The shared CSC pattern (``indptr``/``indices``) holds every entry any
+    member stores, in canonical sorted order; ``scatters[g]`` maps member
+    *g*'s stored entries (canonical CSC entry order) to their positions in
+    the union's entry order, so packing a member into the union is one
+    vectorized scatter.  Members embed with the identity prefix: member
+    row/column *i* is union row/column *i*.
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    scatters: tuple[np.ndarray, ...]
+    member_shapes: tuple[tuple[int, int], ...]
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries of the union pattern."""
+        return int(self.indices.shape[0])
+
+    @property
+    def group(self) -> int:
+        """Number of members the union was built from."""
+        return len(self.scatters)
+
+    def entry_columns(self) -> np.ndarray:
+        """Column index of every stored entry (CSC expansion of ``indptr``)."""
+        return np.repeat(np.arange(self.shape[1], dtype=np.intp), np.diff(self.indptr))
+
+    def pattern_csc(self) -> sp.csc_matrix:
+        """The union pattern as an all-ones CSC matrix (for the pattern-only
+        analysis: stepped permutation, pruning plan, cost estimate)."""
+        return sp.csc_matrix(
+            (
+                np.ones(self.nnz, dtype=np.float64),
+                self.indices.copy(),
+                self.indptr.copy(),
+            ),
+            shape=self.shape,
+        )
+
+
+def pattern_union(
+    mats: list[sp.spmatrix],
+    shape: tuple[int, int],
+    force_diagonal: bool = False,
+) -> PatternUnion:
+    """Union the stored patterns of *mats* inside a common *shape*.
+
+    Every member must fit the union shape (identity-prefix embedding:
+    member entry ``(i, j)`` lands at union ``(i, j)``).  With
+    *force_diagonal* the full main diagonal of the union shape is added
+    even where no member stores it — the factor-union case, where padded
+    members get an identity block and the batched triangular solves need
+    every diagonal entry present.
+    """
+    require(len(mats) >= 1, "need at least one matrix to union")
+    rows_u, cols_u = int(shape[0]), int(shape[1])
+    keys_per: list[np.ndarray] = []
+    member_shapes: list[tuple[int, int]] = []
+    for g, m in enumerate(mats):
+        require(sp.issparse(m), f"member {g}: must be sparse")
+        mc = m.tocsc()
+        if not mc.has_canonical_format:
+            mc = mc.copy()
+            mc.sum_duplicates()
+        require(
+            mc.shape[0] <= rows_u and mc.shape[1] <= cols_u,
+            f"member {g}: shape {mc.shape} exceeds union shape {shape}",
+        )
+        cols = np.repeat(
+            np.arange(mc.shape[1], dtype=np.int64), np.diff(mc.indptr)
+        )
+        keys_per.append(cols * rows_u + mc.indices.astype(np.int64))
+        member_shapes.append((int(mc.shape[0]), int(mc.shape[1])))
+    all_keys = np.concatenate(keys_per)
+    if force_diagonal:
+        diag = np.arange(min(rows_u, cols_u), dtype=np.int64)
+        all_keys = np.concatenate([all_keys, diag * rows_u + diag])
+    # Sorted unique (col, row) keys ARE canonical CSC entry order: ascending
+    # column-major with rows sorted within each column.
+    union_keys = np.unique(all_keys)
+    scatters = tuple(
+        np.searchsorted(union_keys, k).astype(np.intp) for k in keys_per
+    )
+    union_cols = (union_keys // rows_u).astype(np.intp)
+    indptr = np.zeros(cols_u + 1, dtype=np.intp)
+    np.cumsum(np.bincount(union_cols, minlength=cols_u), out=indptr[1:])
+    return PatternUnion(
+        shape=(rows_u, cols_u),
+        indptr=indptr,
+        indices=(union_keys % rows_u).astype(np.intp),
+        scatters=scatters,
+        member_shapes=tuple(member_shapes),
+    )
+
+
+@dataclass(frozen=True)
+class UnionPlan:
+    """Everything the batched path needs to execute one near class padded.
+
+    ``l_union`` is the structural union of the members' factor patterns
+    (square at the largest member order, diagonal forced so the padded
+    identity block exists); ``bt_union`` the union of the permuted gluing
+    patterns at ``(n_max, m_max)``.  ``embeddings[g]`` maps member *g*'s
+    rows/multipliers into the union frame (identity prefix), and the two
+    nnz totals price the padding: ``padded_nnz`` is what the batched run
+    stores and streams, ``member_nnz`` what the members would store
+    per-member — their ratio is the fill the union trades for one launch
+    per kernel step (see :attr:`fill_ratio` and the engine's
+    ``union_fill_cap`` guard).
+    """
+
+    l_union: PatternUnion
+    bt_union: PatternUnion
+    embeddings: tuple[UnionEmbedding, ...]
+    padded_nnz: float
+    member_nnz: float
+
+    @property
+    def group(self) -> int:
+        return len(self.embeddings)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """The padded per-member problem shape ``(n_max, m_max)``."""
+        return self.bt_union.shape
+
+    @property
+    def fill_ratio(self) -> float:
+        """Padded stored entries over exact stored entries (>= 1.0)."""
+        return self.padded_nnz / self.member_nnz if self.member_nnz else 1.0
+
+
+def union_plan(
+    l_mats: list[sp.spmatrix], bt_mats: list[sp.spmatrix]
+) -> UnionPlan:
+    """Build the padded-execution plan of one near class.
+
+    *l_mats* are the members' (lower-triangular) factor matrices, *bt_mats*
+    their row-permuted gluing matrices ``bt[perm][:, col_perm]`` — the same
+    objects the exact grouped path stacks, except their patterns (and even
+    shapes) may differ.  Every member embeds at the identity prefix of the
+    ``(n_max, n_max)`` / ``(n_max, m_max)`` union, so the padded stacked
+    factor is ``[[L, 0], [0, I]]`` and the padded RHS ``[[X], [0]]``:
+    forward substitution and the Gram product then reproduce the member's
+    exact Schur complement in the leading ``(m, m)`` block, with the
+    padding contributing structural zeros only — values are never
+    approximated.
+    """
+    require(
+        len(l_mats) == len(bt_mats) and len(l_mats) >= 1,
+        "need matching non-empty factor and gluing lists",
+    )
+    n_max = max(int(l.shape[0]) for l in l_mats)
+    m_max = max(int(b.shape[1]) for b in bt_mats)
+    for g, (l, b) in enumerate(zip(l_mats, bt_mats)):
+        require(
+            l.shape[0] == l.shape[1], f"member {g}: factor must be square"
+        )
+        require(
+            b.shape[0] == l.shape[0],
+            f"member {g}: gluing rows must match factor order",
+        )
+    l_union = pattern_union(l_mats, (n_max, n_max), force_diagonal=True)
+    bt_union = pattern_union(bt_mats, (n_max, m_max))
+    embeddings = tuple(
+        UnionEmbedding(
+            rows=np.arange(int(l.shape[0]), dtype=np.intp),
+            cols=np.arange(int(b.shape[1]), dtype=np.intp),
+        )
+        for l, b in zip(l_mats, bt_mats)
+    )
+    g = len(l_mats)
+    member_nnz = float(
+        sum(s.size for s in l_union.scatters)
+        + sum(s.size for s in bt_union.scatters)
+    )
+    padded_nnz = float(g * (l_union.nnz + bt_union.nnz))
+    return UnionPlan(
+        l_union=l_union,
+        bt_union=bt_union,
+        embeddings=embeddings,
+        padded_nnz=padded_nnz,
+        member_nnz=member_nnz,
+    )
+
+
 __all__ = [
     "DEFAULT_TOLERANCE",
     "DEFAULT_VALUE_TOLERANCE",
@@ -825,4 +1068,9 @@ __all__ = [
     "rotation_coords",
     "rotation_signature",
     "quantize_pattern",
+    "PatternUnion",
+    "UnionEmbedding",
+    "UnionPlan",
+    "pattern_union",
+    "union_plan",
 ]

@@ -152,6 +152,81 @@ class StackedCSC:
         )
 
 
+def stack_into_union(
+    mats: list[sp.spmatrix], union, pad_diagonal: bool = False
+) -> StackedCSC:
+    """Pack different-pattern members into one :class:`StackedCSC` over a
+    shared union pattern (:class:`repro.sparse.canonical.PatternUnion`).
+
+    The value-tolerant counterpart of :meth:`StackedCSC.from_matrices`:
+    member *g*'s stored values scatter to ``union.scatters[g]``, every
+    union position the member does not store stays an explicit ``0.0``.
+    With *pad_diagonal* the diagonal entries at rows beyond the member's
+    own order are set to ``1.0`` — the identity block that keeps the padded
+    triangular factor ``[[L, 0], [0, I]]`` nonsingular for the batched
+    solves while contributing nothing to the leading Schur block.
+    """
+    require(len(mats) == union.group, "one member per union scatter map")
+    data = np.zeros((len(mats), union.nnz), dtype=np.float64)
+    for g, m in enumerate(mats):
+        mc = _canonical_csc(m)
+        require(
+            tuple(mc.shape) == union.member_shapes[g],
+            f"member {g}: shape differs from the union plan",
+        )
+        require(
+            mc.nnz == union.scatters[g].size,
+            f"member {g}: stored pattern differs from the union plan",
+        )
+        data[g, union.scatters[g]] = mc.data
+    if pad_diagonal:
+        diag_pos = np.flatnonzero(union.indices == union.entry_columns())
+        diag_rows = union.indices[diag_pos]
+        for g in range(len(mats)):
+            n_g = union.member_shapes[g][0]
+            pad = diag_pos[diag_rows >= n_g]
+            # Only overwrite true padding zeros: a member never stores rows
+            # at or beyond its own order, so these positions are untouched.
+            data[g, pad] = 1.0
+    return StackedCSC(
+        shape=union.shape,
+        indptr=np.asarray(union.indptr),
+        indices=np.asarray(union.indices),
+        data=data,
+    )
+
+
+def stack_union_permuted_dense(
+    mats: list[sp.spmatrix], union, col_perm: np.ndarray
+) -> np.ndarray:
+    """Column-permute and densify different-pattern RHS members into the
+    ``(group, n, m)`` stack of a union pattern.
+
+    The :func:`stack_permuted_dense` analogue for the padded path: members
+    embed at the identity prefix of ``union.shape`` (member entry ``(i, j)``
+    lands at dense ``(i, inverse_perm[j])``), rows and columns beyond a
+    member's own shape stay zero — the ``[[X], [0]]`` padding whose TRSM/
+    SYRK images are structural zeros.
+    """
+    n, m = union.shape
+    col_perm = np.asarray(col_perm, dtype=np.intp)
+    require(col_perm.shape == (m,), "col_perm length must match union column count")
+    inverse = np.empty(m, dtype=np.intp)
+    inverse[col_perm] = np.arange(m, dtype=np.intp)
+    out = np.zeros((len(mats), n, m))
+    for g, mat in enumerate(mats):
+        mc = _canonical_csc(mat)
+        require(
+            mc.shape[0] <= n and mc.shape[1] <= m,
+            f"member {g}: shape exceeds the union shape",
+        )
+        cols = np.repeat(
+            np.arange(mc.shape[1], dtype=np.intp), np.diff(mc.indptr)
+        )
+        out[g, mc.indices, inverse[cols]] = mc.data
+    return out
+
+
 def stack_permuted_dense(
     bt_rows: list[sp.spmatrix], col_perm: np.ndarray
 ) -> np.ndarray:
@@ -173,4 +248,9 @@ def stack_permuted_dense(
     return out
 
 
-__all__ = ["StackedCSC", "stack_permuted_dense"]
+__all__ = [
+    "StackedCSC",
+    "stack_into_union",
+    "stack_permuted_dense",
+    "stack_union_permuted_dense",
+]

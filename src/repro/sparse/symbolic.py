@@ -185,15 +185,36 @@ def symbolic_from_factor(l: sp.spmatrix) -> SymbolicFactor:
     lc = l.tocsc()
     lc.sort_indices()
     n = check_sparse_square(lc, "l")
+    return symbolic_from_pattern(lc.indptr, lc.indices, n)
+
+
+def symbolic_from_pattern(
+    indptr: np.ndarray, indices: np.ndarray, n: int
+) -> SymbolicFactor:
+    """:func:`symbolic_from_factor` from raw sorted-CSC pattern arrays.
+
+    Used where no factor matrix exists — notably the structural *union* of
+    several factor patterns (:func:`repro.sparse.canonical.union_plan`),
+    which the batched padded path analyzes and prices like a factor of its
+    own.  A union of filled patterns need not be closed under elimination-
+    tree fill itself; that is fine here because every consumer (pruning
+    plan, cost replay, flop counts) reads the stored pattern structurally
+    and the padded numerics densify per block.
+    """
+    indptr = np.asarray(indptr, dtype=np.intp)
+    indices = np.asarray(indices, dtype=np.intp)
+    require(indptr.shape == (n + 1,), "indptr must have n + 1 entries")
     parent = np.full(n, -1, dtype=np.intp)
     for j in range(n):
-        col = lc.indices[lc.indptr[j] : lc.indptr[j + 1]]
+        col = indices[indptr[j] : indptr[j + 1]]
         below = col[col > j]
         if below.size:
             parent[j] = below[0]
-    col_counts = np.asarray(np.diff(lc.indptr), dtype=np.int64)
+    col_counts = np.asarray(np.diff(indptr), dtype=np.int64)
 
-    lr = lc.tocsr()
+    lr = sp.csc_matrix(
+        (np.ones(indices.size, dtype=np.float64), indices, indptr), shape=(n, n)
+    ).tocsr()
     lr.sort_indices()
     rows: list[np.ndarray] = []
     indptr_list: list[int] = [0]
@@ -238,6 +259,7 @@ __all__ = [
     "SymbolicFactor",
     "symbolic_factorize",
     "symbolic_from_factor",
+    "symbolic_from_pattern",
     "factor_pattern_csc",
     "pattern_digest",
 ]

@@ -1,8 +1,14 @@
-"""Tests for the benchmark harness: workloads, report, experiment drivers."""
+"""Tests for the benchmark harness: workloads, report, experiment drivers,
+and the CI benchmark regression gate (``tools/check_bench.py``)."""
 
 from __future__ import annotations
 
+import copy
+import importlib.util
+import json
 import os
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -87,3 +93,148 @@ def test_fig05_driver_smoke():
     res = run_experiment("fig05", quick=True)
     assert res.metrics["u_shape_penalty_small_3k"] > 1.0
     assert any("fig05" in name for name, _ in res.tables)
+
+
+# ---------------------------------------------------------------------------
+# tools/check_bench.py — the CI benchmark regression gate
+# ---------------------------------------------------------------------------
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_check_bench():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", REPO / "tools" / "check_bench.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    # register before exec: the tool's @dataclass decorators resolve their
+    # defining module through sys.modules
+    sys.modules["check_bench"] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _fake_report() -> dict:
+    """A minimal pytest-benchmark report shaped like the CI artifact."""
+    return {
+        "benchmarks": [
+            {
+                "name": "test_unstructured_grouping_and_execution",
+                "stats": {"mean": 0.42},
+                "extra_info": {
+                    "n_subdomains": 32,
+                    "grouping_ratio": 2.46,
+                    "n_union_groups": 5,
+                    "union_launches": 65,
+                    "member_launches": 160,
+                    "union_fill_ratio": 2.56,
+                    "exec_grouped_s": 0.004,  # informational, never gated
+                },
+            },
+            {
+                "name": "test_grouped_execution_speedup",
+                "stats": {"mean": 0.40},
+                "extra_info": {"grouped_speedup": 8.2, "launches_grouped": 15},
+            },
+        ]
+    }
+
+
+def test_check_bench_round_trip_passes():
+    """extract -> diff of the identical report gates clean."""
+    cb = _load_check_bench()
+    report = _fake_report()
+    baseline = cb.extract_baseline(report, source="unit")
+    deltas, errors = cb.diff(baseline, report)
+    assert not errors
+    assert not any(d.regressed for d in deltas)
+    # informational metrics are compared but never gated
+    info = {d.metric for d in deltas if not d.gated}
+    assert "mean_s" in info and "exec_grouped_s" in info
+
+
+def test_check_bench_flags_injected_regression(tmp_path, capsys):
+    """A synthetically worsened metric fails the gate (exit code 1)."""
+    cb = _load_check_bench()
+    report = _fake_report()
+    baseline = cb.extract_baseline(report, source="unit")
+    bad = copy.deepcopy(report)
+    extra = bad["benchmarks"][0]["extra_info"]
+    extra["grouping_ratio"] = 1.1  # higher-is-better metric collapses
+    extra["union_launches"] = 200  # lower-is-better metric explodes
+
+    deltas, errors = cb.diff(baseline, bad)
+    assert not errors
+    regressed = {d.metric for d in deltas if d.regressed}
+    assert regressed == {"grouping_ratio", "union_launches"}
+
+    # end-to-end through main(): the CI entry point must exit non-zero
+    base_path = tmp_path / "baseline.json"
+    fresh_path = tmp_path / "fresh.json"
+    base_path.write_text(json.dumps(baseline))
+    fresh_path.write_text(json.dumps(bad))
+    delta_path = tmp_path / "delta.md"
+    rc = cb.main(
+        ["diff", str(fresh_path), "--baseline", str(base_path),
+         "--delta-out", str(delta_path)]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out and "re-baseline" in out
+    assert "REGRESSED" in delta_path.read_text()
+
+
+def test_check_bench_tolerance_band_absorbs_noise():
+    """Movement inside a metric's tolerance band is not a regression."""
+    cb = _load_check_bench()
+    report = _fake_report()
+    baseline = cb.extract_baseline(report, source="unit")
+    noisy = copy.deepcopy(report)
+    # grouped_speedup has a wide CI-noise band (host wall-clock ratio)
+    noisy["benchmarks"][1]["extra_info"]["grouped_speedup"] = 8.2 * 0.6
+    deltas, errors = cb.diff(baseline, noisy)
+    assert not errors and not any(d.regressed for d in deltas)
+    # ... but collapsing past the band still fails
+    noisy["benchmarks"][1]["extra_info"]["grouped_speedup"] = 8.2 * 0.4
+    deltas, _ = cb.diff(baseline, noisy)
+    assert any(d.regressed and d.metric == "grouped_speedup" for d in deltas)
+
+
+def test_check_bench_structural_drift_and_missing_are_errors():
+    """EQUAL-gated counters flag any drift; vanished benchmarks/metrics
+    are hard errors."""
+    cb = _load_check_bench()
+    report = _fake_report()
+    baseline = cb.extract_baseline(report, source="unit")
+
+    drifted = copy.deepcopy(report)
+    drifted["benchmarks"][0]["extra_info"]["n_subdomains"] = 16
+    deltas, errors = cb.diff(baseline, drifted)
+    assert any(d.regressed and d.metric == "n_subdomains" for d in deltas)
+
+    shrunk = copy.deepcopy(report)
+    del shrunk["benchmarks"][1]
+    del shrunk["benchmarks"][0]["extra_info"]["union_launches"]
+    _, errors = cb.diff(baseline, shrunk)
+    assert len(errors) == 2
+    assert any("disappeared" in e and "test_grouped_execution_speedup" in e
+               for e in errors)
+    assert any("union_launches" in e for e in errors)
+
+
+def test_check_bench_committed_baseline_is_current():
+    """The committed baseline parses, has the right schema, and covers the
+    union-execution metrics the CI gate asserts on."""
+    cb = _load_check_bench()
+    baseline = json.loads((REPO / "benchmarks" / "baseline.json").read_text())
+    assert baseline["schema"] == cb.SCHEMA
+    unstructured = baseline["benchmarks"][
+        "test_unstructured_grouping_and_execution"
+    ]["extra_info"]
+    assert unstructured["n_union_groups"] >= 1
+    assert unstructured["union_launches"] * 2 <= unstructured["member_launches"]
+    # every gated metric name in the baseline is known to the gate table or
+    # deliberately informational — catches typos when re-baselining
+    for bench in baseline["benchmarks"].values():
+        for metric in bench["extra_info"]:
+            assert metric in cb.GATES or metric.endswith("_s"), metric

@@ -41,6 +41,7 @@ DOC_FILES = (
     "docs/batching.md",
     "docs/unstructured.md",
     "docs/observability.md",
+    "docs/ci.md",
 )
 
 #: Files whose ``--flags`` must exist in ``python -m repro batch --help``.
@@ -49,6 +50,7 @@ FLAG_DOC_FILES = (
     "docs/batching.md",
     "docs/unstructured.md",
     "docs/observability.md",
+    "docs/ci.md",
 )
 
 #: Documented flags that belong to other subcommands or to pytest, not to
@@ -61,6 +63,10 @@ FLAG_ALLOWLIST = {
     # flags of the `repro trace` subcommand, not `repro batch`
     "--top",
     "--depth",
+    # flags of tools/check_bench.py and pytest-benchmark (docs/ci.md)
+    "--baseline",
+    "--delta-out",
+    "--benchmark-json",
 }
 
 
