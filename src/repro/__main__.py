@@ -29,6 +29,17 @@ Commands
 ``trace <file.json> [--top N] [--depth D]``
     Render the phase breakdown of a saved trace: an inclusive-time tree
     plus the top-N phases — the terminal view of ``batch --trace`` output.
+``work {submit,run,status} [--root DIR]``
+    Assembly-as-a-service (``repro.store``; see ``docs/service.md``):
+    ``submit`` enqueues assemble jobs into the service root's SQLite work
+    queue, ``run`` starts a stateless worker draining it against the
+    shared persistent artifact store (crash-safe: a killed worker loses
+    at most its current attempt), ``status`` reports the job table.
+    ``--faults`` injects deterministic failures for drills.
+``store {stats,ls,verify} [--root DIR]``
+    Inspect the persistent artifact store: entry counts and bytes by
+    kind, the full entry listing, or a full-content integrity check that
+    quarantines corrupted entries and sweeps stale tmp files.
 """
 
 from __future__ import annotations
@@ -200,6 +211,128 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _service_parts(root: str):
+    """Open the service root's store and queue (``<root>/store/`` +
+    ``<root>/queue.db``), creating them on first use."""
+    from pathlib import Path
+
+    from repro.store import ArtifactStore, JobQueue
+
+    base = Path(root)
+    return ArtifactStore(base / "store"), base / "queue.db", JobQueue
+
+
+def _cmd_work(args) -> int:
+    import json
+
+    from repro.store import DEFAULT_ASSEMBLE_PAYLOAD, FaultInjector, InjectedCrash, run_worker
+
+    store, queue_path, JobQueue = _service_parts(args.root)
+
+    if args.work_command == "submit":
+        payload = dict(DEFAULT_ASSEMBLE_PAYLOAD)
+        for key in ("cells", "grid", "mesh", "partitioner", "parts", "seed",
+                    "device", "execution", "signature"):
+            value = getattr(args, key)
+            if value is not None:
+                payload[key] = value
+        if args.payload:
+            payload.update(json.loads(args.payload))
+        queue = JobQueue(queue_path)
+        ids = [
+            queue.submit("assemble", payload, max_attempts=args.max_attempts)
+            for _ in range(args.count)
+        ]
+        print(f"submitted {len(ids)} assemble job(s): "
+              f"{ids[0]}..{ids[-1]}" if len(ids) > 1 else f"submitted job {ids[0]}")
+        print(queue.summary())
+        return 0
+
+    if args.work_command == "run":
+        # One injector shared by all three layers, so a --faults plan can
+        # name any FAULT_POINT (store.*, queue.*, worker.*).
+        faults = FaultInjector(args.faults, seed=args.fault_seed)
+        store.faults = faults
+        queue = JobQueue(
+            queue_path,
+            backoff_base=args.backoff,
+            backoff_cap=args.backoff_cap,
+            faults=faults,
+        )
+        try:
+            stats = run_worker(
+                queue,
+                store,
+                owner=args.worker_id,
+                lease_seconds=args.lease,
+                poll_seconds=args.poll,
+                max_jobs=args.max_jobs,
+                timeout=args.timeout,
+                faults=faults,
+            )
+        except InjectedCrash as crash:
+            # Simulated process death: report like a kill -9 would (nothing
+            # cleaned up, distinctive exit status for the drill harness).
+            print(f"worker {args.worker_id} crashed: {crash}", file=sys.stderr)
+            return 42
+        print(stats.summary())
+        print(store.stats.summary())
+        print(queue.summary())
+        return 0
+
+    # status
+    queue = JobQueue(queue_path)
+    print(queue.summary())
+    if args.jobs:
+        for job in queue.jobs():
+            line = (f"  #{job.id} {job.kind:10s} {job.status:7s} "
+                    f"attempts={job.attempts}/{job.max_attempts}")
+            if job.owner:
+                line += f" owner={job.owner}"
+            if job.error:
+                line += f" error={job.error!r}"
+            print(line)
+    if args.strict:
+        counts = queue.counts()
+        bad = counts["failed"] + counts["dead"] + counts["open"] + counts["leased"]
+        return 1 if bad else 0
+    return 0
+
+
+def _cmd_store(args) -> int:
+    store, _, _ = _service_parts(args.root)
+
+    if args.store_command == "ls":
+        n = 0
+        for entry in store.entries():
+            print(f"  {entry.kind:12s} {entry.payload_bytes:10d} B  {entry.key}")
+            n += 1
+        print(f"{n} committed artifact(s) under {store.root}")
+        return 0
+
+    if args.store_command == "verify":
+        n_ok, n_bad = store.verify()
+        n_tmp = store.gc()
+        print(f"verified {n_ok + n_bad} artifact(s): {n_ok} ok, "
+              f"{n_bad} quarantined, {n_tmp} stale tmp file(s) swept")
+        return 1 if n_bad else 0
+
+    # stats
+    by_kind: dict[str, list[int]] = {}
+    for entry in store.entries():
+        by_kind.setdefault(entry.kind, []).append(entry.payload_bytes)
+    total = sum(len(v) for v in by_kind.values())
+    total_bytes = sum(sum(v) for v in by_kind.values())
+    print(f"store root: {store.root}")
+    print(f"{total} committed artifact(s), {total_bytes} payload byte(s)")
+    for kind in sorted(by_kind):
+        sizes = by_kind[kind]
+        print(f"  {kind:12s} {len(sizes):6d} entr(ies)  {sum(sizes):10d} B")
+    quarantined = sorted(store.quarantine_dir.glob("*")) if store.quarantine_dir.is_dir() else []
+    print(f"{len(quarantined)} quarantined file(s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Schur-complement sparsity reproduction (SC 2025)"
@@ -342,6 +475,113 @@ def main(argv: list[str] | None = None) -> int:
         "--depth", type=int, default=None, help="maximum phase-tree depth to print"
     )
 
+    p_work = sub.add_parser(
+        "work", help="assembly-as-a-service work queue (submit/run/status)"
+    )
+    work_sub = p_work.add_subparsers(dest="work_command", required=True)
+
+    w_submit = work_sub.add_parser("submit", help="enqueue assemble jobs")
+    w_submit.add_argument(
+        "--root", default="service", help="service root directory (default: service/)"
+    )
+    w_submit.add_argument(
+        "--count", type=int, default=1, help="how many copies of the job to enqueue"
+    )
+    w_submit.add_argument(
+        "--max-attempts",
+        type=int,
+        default=5,
+        help="attempts before the job is dead-lettered (default 5)",
+    )
+    w_submit.add_argument("--cells", type=int, default=None, help="mesh cells per axis")
+    w_submit.add_argument("--grid", default=None, help="subdomain grid, e.g. 4x4")
+    w_submit.add_argument(
+        "--mesh", default=None, choices=("square", "cube", "jittered", "lshape", "strip")
+    )
+    w_submit.add_argument(
+        "--partitioner", default=None, choices=("boxes", "rcb", "spectral")
+    )
+    w_submit.add_argument("--parts", type=int, default=None)
+    w_submit.add_argument("--seed", type=int, default=None)
+    w_submit.add_argument("--device", default=None, choices=("gpu", "cpu"))
+    w_submit.add_argument(
+        "--execution",
+        default=None,
+        choices=("per-member", "grouped", "auto", "union"),
+    )
+    w_submit.add_argument(
+        "--signature", default=None, choices=("frame", "rotation", "near")
+    )
+    w_submit.add_argument(
+        "--payload",
+        default=None,
+        metavar="JSON",
+        help="raw payload overrides merged over the flags (JSON object)",
+    )
+
+    w_run = work_sub.add_parser("run", help="run a worker until the queue drains")
+    w_run.add_argument("--root", default="service", help="service root directory")
+    w_run.add_argument(
+        "--worker-id", default="worker", help="lease owner name (unique per worker)"
+    )
+    w_run.add_argument(
+        "--lease", type=float, default=30.0, help="lease seconds per claim (default 30)"
+    )
+    w_run.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        help="seconds between claim attempts while others hold leases",
+    )
+    w_run.add_argument(
+        "--max-jobs", type=int, default=None, help="stop after N jobs (default: drain)"
+    )
+    w_run.add_argument(
+        "--timeout", type=float, default=None, help="stop after S wall seconds"
+    )
+    w_run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault plan, e.g. 'worker.job.crash:2' "
+        "(see repro.store.faults; crashes exit with status 42)",
+    )
+    w_run.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for probabilistic fault triggers"
+    )
+    w_run.add_argument(
+        "--backoff",
+        type=float,
+        default=1.0,
+        help="base seconds of the failed-job exponential backoff",
+    )
+    w_run.add_argument(
+        "--backoff-cap", type=float, default=60.0, help="backoff ceiling in seconds"
+    )
+
+    w_status = work_sub.add_parser("status", help="report the job table")
+    w_status.add_argument("--root", default="service", help="service root directory")
+    w_status.add_argument(
+        "--jobs", action="store_true", help="list every job row, not just the counts"
+    )
+    w_status.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 unless every job is done (CI gate after a drain)",
+    )
+
+    p_store = sub.add_parser(
+        "store", help="inspect the persistent artifact store (stats/ls/verify)"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    s_stats = store_sub.add_parser("stats", help="entry counts and bytes by kind")
+    s_ls = store_sub.add_parser("ls", help="list committed artifacts")
+    s_verify = store_sub.add_parser(
+        "verify", help="full-content check; quarantines corrupt entries, sweeps tmp"
+    )
+    for p in (s_stats, s_ls, s_verify):
+        p.add_argument("--root", default="service", help="service root directory")
+
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
@@ -349,6 +589,8 @@ def main(argv: list[str] | None = None) -> int:
         "solve": _cmd_solve,
         "batch": _cmd_batch,
         "trace": _cmd_trace,
+        "work": _cmd_work,
+        "store": _cmd_store,
     }
     return handlers[args.command](args)
 

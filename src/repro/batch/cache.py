@@ -52,11 +52,24 @@ class SymbolicArtifacts:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one :class:`PatternCache`."""
+    """Hit/miss/eviction counters of one :class:`PatternCache`.
+
+    The ``store_*`` counters are written by the persistent second tier
+    (:class:`repro.store.tiered.TieredPatternCache`) and stay zero for a
+    plain in-memory cache: ``store_hits`` lookups that missed the memory
+    LRU but were served from the artifact store on disk (counted in
+    ``hits`` too — the analysis was reused either way), ``store_misses``
+    lookups that had to rebuild from scratch, and ``store_quarantined``
+    corrupted store entries that were quarantined (recomputed, never
+    served) during this cache's lookups.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -67,7 +80,14 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(hits=self.hits, misses=self.misses, evictions=self.evictions)
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            store_hits=self.store_hits,
+            store_misses=self.store_misses,
+            store_quarantined=self.store_quarantined,
+        )
 
 
 class PatternCache:

@@ -509,6 +509,7 @@ class BatchAssembler:
 
         results: list[SchurAssemblyResult | None] = [None] * len(norm)
         n_grouped = 0
+        n_exec_fallbacks = 0
         launches = 0
         execute_seconds = 0.0
         group_execute_seconds: dict[str, float] = {}
@@ -763,16 +764,61 @@ class BatchAssembler:
                         bt_rows_all[i] = None
                     return f"union:{geo_key}", members, res, gex, time.perf_counter() - w0
 
+                # Graceful degradation: a failure inside one batched task
+                # (grouped or union) falls back to per-member execution of
+                # that task's members instead of aborting the whole batch.
+                # Each member's own exact artifacts are always valid for the
+                # per-member path, and its permuted-bt copy is still intact
+                # (the batched paths only release copies after succeeding).
+                def run_fallback(label: str, members: list[int]):
+                    gex = Executor(self.assembler.spec)
+                    w0 = time.perf_counter()
+                    res = []
+                    for i in members:
+                        with tracer.span(
+                            "batch.fallback_member", index=i, group=label[:16]
+                        ):
+                            res.append(
+                                self.assembler.assemble(
+                                    norm[i].factor,
+                                    norm[i].bt,
+                                    executor=gex,
+                                    prepared=artifacts[key_of[i]].prepared,
+                                    bt_rows=bt_rows_all[i],
+                                )
+                            )
+                        bt_rows_all[i] = None
+                    return res, gex, time.perf_counter() - w0
+
+                def run_task(fn, key: str):
+                    try:
+                        label, members, res, gex, wall = fn(key)
+                        return label, members, res, gex, wall, False
+                    except Exception as exc:  # noqa: BLE001 — degrade, don't abort
+                        members = (
+                            union_groups[key] if fn is run_union else exec_members[key]
+                        )
+                        warnings.warn(
+                            f"batched execution of group {key[:16]!r} "
+                            f"({len(members)} member(s)) failed with "
+                            f"{type(exc).__name__}: {exc} — falling back to "
+                            "per-member execution for this group",
+                            RuntimeWarning,
+                        )
+                        label = f"union:{key}" if fn is run_union else key
+                        res, gex, wall = run_fallback(label, members)
+                        return label, members, res, gex, wall, True
+
                 tasks = [(run_group, key) for key in grouped_keys] + [
                     (run_union, key) for key in union_groups
                 ]
                 workers = host_worker_count(n_workers, n_tasks=len(tasks))
                 if workers > 1 and len(tasks) > 1:
                     with ThreadPoolExecutor(max_workers=workers) as pool:
-                        outcomes = list(pool.map(lambda t: t[0](t[1]), tasks))
+                        outcomes = list(pool.map(lambda t: run_task(*t), tasks))
                 else:
-                    outcomes = [fn(key) for fn, key in tasks]
-                for label, members, res, gex, wall in outcomes:
+                    outcomes = [run_task(fn, key) for fn, key in tasks]
+                for label, members, res, gex, wall, fell_back in outcomes:
                     for idx, r in zip(members, res):
                         results[idx] = r
                     ex.ledger.absorb(gex.ledger)
@@ -782,7 +828,10 @@ class BatchAssembler:
                     group_execute_seconds[label] = (
                         group_execute_seconds.get(label, 0.0) + wall
                     )
-                    n_grouped += len(members)
+                    if fell_back:
+                        n_exec_fallbacks += 1
+                    else:
+                        n_grouped += len(members)
                 execute_seconds += time.perf_counter() - exec_t0
         if execute and norm:
             launches = ex.ledger.total.launches - base_launches
@@ -848,6 +897,10 @@ class BatchAssembler:
             union_padded_nnz=union_padded_nnz,
             union_member_nnz=union_member_nnz,
             n_degraded=n_degraded,
+            store_hits=after.store_hits - before.store_hits,
+            store_misses=after.store_misses - before.store_misses,
+            n_quarantined=after.store_quarantined - before.store_quarantined,
+            n_exec_fallbacks=n_exec_fallbacks,
         )
         return BatchResult(
             results=results,

@@ -51,6 +51,17 @@ class BatchStats:
     ratio is :attr:`union_fill_ratio`).  ``n_degraded`` counts batches whose
     grouped execution silently degraded to all-singleton groups — the case
     the union tier exists for.
+
+    The durability counters describe the persistent tier (present when the
+    engine runs over a :class:`repro.store.tiered.TieredPatternCache`):
+    ``store_hits``/``store_misses`` are the lookups that fell through the
+    in-memory LRU and were served from / missed by the artifact store on
+    disk (a store hit still counts in ``hits`` — the analysis was reused),
+    and ``n_quarantined`` counts corrupted store entries quarantined (and
+    recomputed — never served) during this batch.  ``n_exec_fallbacks``
+    counts grouped/union execution tasks that raised on their worker
+    thread and were re-executed per-member — graceful degradation instead
+    of aborting the whole batch.
     """
 
     n_subdomains: int = 0
@@ -78,6 +89,10 @@ class BatchStats:
     union_padded_nnz: float = 0.0
     union_member_nnz: float = 0.0
     n_degraded: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    n_quarantined: int = 0
+    n_exec_fallbacks: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -169,6 +184,10 @@ class BatchStats:
             union_padded_nnz=self.union_padded_nnz + other.union_padded_nnz,
             union_member_nnz=self.union_member_nnz + other.union_member_nnz,
             n_degraded=self.n_degraded + other.n_degraded,
+            store_hits=self.store_hits + other.store_hits,
+            store_misses=self.store_misses + other.store_misses,
+            n_quarantined=self.n_quarantined + other.n_quarantined,
+            n_exec_fallbacks=self.n_exec_fallbacks + other.n_exec_fallbacks,
         )
 
     def summary(self) -> str:
@@ -222,6 +241,20 @@ class BatchStats:
                 f"degraded:          {self.n_degraded} batch(es) with only "
                 f"singleton groups — grouped execution gained nothing "
                 f"(consider execution='union')"
+            )
+        if self.store_hits or self.store_misses or self.n_quarantined:
+            store_lookups = self.store_hits + self.store_misses
+            store_rate = self.store_hits / store_lookups if store_lookups else 0.0
+            lines.append(
+                f"store:             {self.store_hits} hit(s) / "
+                f"{self.store_misses} miss(es) from the persistent tier "
+                f"({store_rate * 100.0:.1f}% of LRU misses served from disk, "
+                f"{self.n_quarantined} quarantined)"
+            )
+        if self.n_exec_fallbacks:
+            lines.append(
+                f"fallbacks:         {self.n_exec_fallbacks} group(s) "
+                f"re-executed per-member after a batched-execution failure"
             )
         return "\n".join(line for line in lines if line)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.util import Table, format_series
+from repro.util import Table, atomic_write_text, format_series
 
 
 @dataclass
@@ -50,11 +50,8 @@ class ExperimentResult:
         return "\n".join(parts)
 
     def save(self, directory: str) -> str:
-        os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"{self.experiment_id}.txt")
-        with open(path, "w") as fh:
-            fh.write(self.render() + "\n")
-        return path
+        return atomic_write_text(path, self.render() + "\n")
 
 
 def results_dir() -> str:

@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import Span
+from repro.util.atomic import atomic_write_text
 
 
 def _track_order(track: str) -> tuple:
@@ -96,10 +97,9 @@ def chrome_trace(spans: list[Span], metrics: MetricsRegistry | None = None) -> d
 def write_chrome_trace(
     path, spans: list[Span], metrics: MetricsRegistry | None = None
 ) -> str:
-    """Serialize :func:`chrome_trace` to *path*; returns the path written."""
-    path = Path(path)
-    path.write_text(json.dumps(chrome_trace(spans, metrics=metrics)))
-    return str(path)
+    """Serialize :func:`chrome_trace` to *path* (atomic tmp+rename — a
+    killed process never leaves a truncated trace); returns the path."""
+    return atomic_write_text(path, json.dumps(chrome_trace(spans, metrics=metrics)))
 
 
 def load_chrome_trace(path) -> tuple[list[Span], dict]:
@@ -181,14 +181,12 @@ def metrics_to_csv(metrics: MetricsRegistry) -> str:
 
 
 def write_metrics(path, metrics: MetricsRegistry) -> str:
-    """Write the metrics dump to *path* (format from the extension:
-    ``.csv`` flat CSV, anything else JSON)."""
+    """Write the metrics dump to *path* atomically (format from the
+    extension: ``.csv`` flat CSV, anything else JSON)."""
     path = Path(path)
     if path.suffix.lower() == ".csv":
-        path.write_text(metrics_to_csv(metrics))
-    else:
-        path.write_text(metrics_to_json(metrics))
-    return str(path)
+        return atomic_write_text(path, metrics_to_csv(metrics))
+    return atomic_write_text(path, metrics_to_json(metrics))
 
 
 __all__ = [

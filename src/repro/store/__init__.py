@@ -1,0 +1,114 @@
+"""Assembly-as-a-service: persistent artifact store + crash-safe work queue.
+
+The repo's durability layer (see ``docs/service.md``): the symbolic
+artifacts the batch engine computes once per canonical fingerprint no
+longer die with the process —
+
+* :mod:`repro.store.artifact` — versioned, checksummed artifact envelopes
+  (symbolic factors, relabelings, union plans, priced plans);
+* :mod:`repro.store.store` — the file-backed
+  :class:`~repro.store.store.ArtifactStore`: atomic tmp+rename commits,
+  quarantine-and-recompute on corruption, never serves a bad entry;
+* :mod:`repro.store.tiered` — the two-tier
+  :class:`~repro.store.tiered.TieredPatternCache` plugging the store under
+  the batch engine's in-memory LRU;
+* :mod:`repro.store.queue` — the SQLite
+  :class:`~repro.store.queue.JobQueue` work table: open/leased/done/
+  failed/dead states, lease timeouts with heartbeats, capped exponential
+  backoff, dead-lettering;
+* :mod:`repro.store.worker` — the stateless worker loop behind
+  ``python -m repro work``;
+* :mod:`repro.store.faults` — seeded deterministic fault injection
+  (crash-before-commit, torn writes, stale leases, transient I/O) that
+  keeps every recovery path above under test.
+"""
+
+from repro.store.artifact import (
+    KIND_PRICED_PLAN,
+    KIND_RELABELING,
+    KIND_SYMBOLIC,
+    KIND_UNION_PLAN,
+    SCHEMA_VERSION,
+    ArtifactCorrupt,
+    ArtifactError,
+    ArtifactHeader,
+    ArtifactSchemaMismatch,
+    decode_artifact,
+    encode_artifact,
+    key_digest,
+)
+from repro.store.faults import (
+    CRASH_POINTS,
+    FAULT_POINTS,
+    FaultInjector,
+    InjectedCrash,
+    InjectedFault,
+    TransientIOError,
+)
+from repro.store.queue import (
+    DEAD,
+    DONE,
+    FAILED,
+    LEASED,
+    OPEN,
+    PENDING_STATES,
+    STATES,
+    Job,
+    JobQueue,
+    LostLease,
+    QueueError,
+)
+from repro.store.store import ArtifactStore, StoreEntry, StoreStats
+from repro.store.tiered import TieredPatternCache
+from repro.store.worker import (
+    DEFAULT_ASSEMBLE_PAYLOAD,
+    JOB_HANDLERS,
+    WorkerStats,
+    reference_digest,
+    run_assemble_job,
+    run_worker,
+    sc_digest,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "StoreEntry",
+    "TieredPatternCache",
+    "ArtifactError",
+    "ArtifactCorrupt",
+    "ArtifactSchemaMismatch",
+    "ArtifactHeader",
+    "SCHEMA_VERSION",
+    "KIND_SYMBOLIC",
+    "KIND_RELABELING",
+    "KIND_UNION_PLAN",
+    "KIND_PRICED_PLAN",
+    "encode_artifact",
+    "decode_artifact",
+    "key_digest",
+    "JobQueue",
+    "Job",
+    "QueueError",
+    "LostLease",
+    "OPEN",
+    "LEASED",
+    "DONE",
+    "FAILED",
+    "DEAD",
+    "STATES",
+    "PENDING_STATES",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectedCrash",
+    "TransientIOError",
+    "FAULT_POINTS",
+    "CRASH_POINTS",
+    "run_worker",
+    "run_assemble_job",
+    "reference_digest",
+    "sc_digest",
+    "WorkerStats",
+    "JOB_HANDLERS",
+    "DEFAULT_ASSEMBLE_PAYLOAD",
+]

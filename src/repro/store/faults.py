@@ -1,0 +1,193 @@
+"""Seeded, deterministic fault injection for the store and the queue.
+
+The recovery paths of :mod:`repro.store` are testable, not aspirational:
+every dangerous site in the store, the queue and the worker loop calls
+into a :class:`FaultInjector` at a named *fault point*, and a configured
+injector turns that call into a simulated failure —
+
+* :class:`InjectedCrash` — the process "dies" at this instant: the
+  exception unwinds without any cleanup handlers running (the worker loop
+  re-raises it), so whatever was committed is committed and whatever was
+  not is not.  Models ``kill -9`` mid-operation.
+* :class:`TransientIOError` — a retryable I/O hiccup (NFS blip, EBUSY);
+  the store retries these a bounded number of times.
+* a *torn write* — the store commits a deliberately truncated payload,
+  modelling a crash between a non-atomic write's pages reaching disk.
+  Detected by the artifact checksum on the next read and quarantined.
+
+Fault points (see :data:`FAULT_POINTS` and the failure matrix in
+``docs/service.md``):
+
+========================  ====================================================
+point                     effect at the site
+========================  ====================================================
+``store.put.crash``       crash after the tmp file is written, before rename
+``store.put.torn``        commit a truncated artifact (checksum won't match)
+``store.get.transient``   raise :class:`TransientIOError` on the read
+``queue.claim.crash``     crash right after a job lease commits (stale lease)
+``queue.complete.crash``  crash before the completion transaction commits
+``worker.job.crash``      crash mid-job, between claim and completion
+========================  ====================================================
+
+Specs are compact strings, comma-separated ``point:trigger`` pairs:
+
+* ``store.put.torn:2`` — fire on the 2nd call of that point (count-based,
+  fully deterministic);
+* ``worker.job.crash:p0.25`` — fire each call with probability 0.25 from
+  a generator seeded by *seed* (deterministic for a fixed seed);
+* ``store.get.transient:*`` — fire on every call.
+
+The injector counts every call per point (:attr:`FaultInjector.calls`),
+so tests can assert a site was actually exercised.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Every fault point wired into the store / queue / worker code paths.
+FAULT_POINTS = (
+    "store.put.crash",
+    "store.put.torn",
+    "store.get.transient",
+    "queue.claim.crash",
+    "queue.complete.crash",
+    "worker.job.crash",
+)
+
+#: Fault points that simulate process death (must unwind without cleanup).
+CRASH_POINTS = frozenset(
+    {"store.put.crash", "queue.claim.crash", "queue.complete.crash", "worker.job.crash"}
+)
+
+
+class InjectedFault(Exception):
+    """Base class of every injected failure."""
+
+    def __init__(self, point: str, call: int) -> None:
+        super().__init__(f"injected fault at {point} (call #{call})")
+        self.point = point
+        self.call = call
+
+
+class InjectedCrash(InjectedFault):
+    """Simulated process death: handlers must NOT clean up after this —
+    the worker loop re-raises it to its top level, like ``kill -9``."""
+
+
+class TransientIOError(InjectedFault, OSError):
+    """Simulated retryable I/O error."""
+
+
+class _Trigger:
+    """When does one fault point fire?  ``at`` = Nth call, ``always``,
+    or probability ``p`` per call (seeded)."""
+
+    def __init__(self, spec: str, rng: random.Random, point: str) -> None:
+        self.at: int | None = None
+        self.p: float | None = None
+        self.always = False
+        self._rng = rng
+        if spec == "*":
+            self.always = True
+        elif spec.startswith("p"):
+            self.p = float(spec[1:])
+            if not 0.0 <= self.p <= 1.0:
+                raise ValueError(f"fault probability out of [0,1]: {spec!r} ({point})")
+        else:
+            self.at = int(spec)
+            if self.at < 1:
+                raise ValueError(f"fault call index must be >= 1: {spec!r} ({point})")
+
+    def fires(self, call: int) -> bool:
+        if self.always:
+            return True
+        if self.p is not None:
+            return self._rng.random() < self.p
+        return call == self.at
+
+
+class FaultInjector:
+    """Deterministic fault plan shared by a store/queue/worker trio.
+
+    Parameters
+    ----------
+    spec:
+        ``"point:trigger,point:trigger,..."`` (see the module docstring),
+        a pre-parsed ``{point: trigger}`` dict, or ``None``/``""`` for a
+        no-op injector (every ``fire`` is a cheap dict miss).
+    seed:
+        Seeds the generator behind probabilistic (``pN``) triggers; two
+        injectors with the same spec and seed fire identically.
+    """
+
+    def __init__(self, spec: str | dict | None = None, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self.seed = seed
+        self.calls: dict[str, int] = {}
+        self.fired: dict[str, int] = {}
+        self._triggers: dict[str, _Trigger] = {}
+        if isinstance(spec, dict):
+            items = list(spec.items())
+        elif spec:
+            items = []
+            for part in spec.split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                point, _, trigger = part.rpartition(":")
+                if not point or not trigger:
+                    raise ValueError(f"malformed fault spec entry: {part!r}")
+                items.append((point, trigger))
+        else:
+            items = []
+        for point, trigger in items:
+            if point not in FAULT_POINTS:
+                raise ValueError(
+                    f"unknown fault point {point!r}; choose from {FAULT_POINTS}"
+                )
+            self._triggers[point] = _Trigger(str(trigger), self._rng, point)
+
+    def __bool__(self) -> bool:
+        return bool(self._triggers)
+
+    def fire(self, point: str) -> None:
+        """Register a call of *point*; raise its fault when triggered.
+
+        Crash points raise :class:`InjectedCrash`, transient points
+        :class:`TransientIOError`.  Torn-write points never raise — use
+        :meth:`tears` at the write site instead.
+        """
+        call = self.calls[point] = self.calls.get(point, 0) + 1
+        trig = self._triggers.get(point)
+        if trig is None or not trig.fires(call):
+            return
+        self.fired[point] = self.fired.get(point, 0) + 1
+        if point in CRASH_POINTS:
+            raise InjectedCrash(point, call)
+        raise TransientIOError(point, call)
+
+    def tears(self, point: str = "store.put.torn") -> bool:
+        """Like :meth:`fire` but for torn writes: returns ``True`` when the
+        write at this call should commit truncated instead of raising."""
+        call = self.calls[point] = self.calls.get(point, 0) + 1
+        trig = self._triggers.get(point)
+        if trig is None or not trig.fires(call):
+            return False
+        self.fired[point] = self.fired.get(point, 0) + 1
+        return True
+
+
+#: Shared no-op injector for call sites whose caller passed ``faults=None``.
+NO_FAULTS = FaultInjector(None)
+
+
+__all__ = [
+    "FAULT_POINTS",
+    "CRASH_POINTS",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectedCrash",
+    "TransientIOError",
+    "NO_FAULTS",
+]

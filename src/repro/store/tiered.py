@@ -1,0 +1,103 @@
+"""Two-tier pattern cache: in-memory LRU over the persistent artifact store.
+
+Drop-in replacement for :class:`~repro.batch.cache.PatternCache` (the
+:class:`~repro.batch.engine.BatchAssembler` takes it via its ``cache=``
+parameter unchanged): lookups hit the process-local LRU first, fall
+through to the :class:`~repro.store.store.ArtifactStore` on disk, and only
+rebuild from scratch when both tiers miss — at which point the fresh
+artifact is committed back to the store for every later run and every
+other worker.
+
+Counting contract (what :class:`~repro.batch.stats.BatchStats` reports):
+
+* memory hit — ``hits`` only (same as a plain cache);
+* store hit  — ``hits`` *and* ``store_hits``: the symbolic analysis was
+  still saved, it just came from disk (this is the warm-fleet win);
+* store miss — ``misses`` and ``store_misses``: full rebuild + put;
+* a corrupted store entry quarantined during a lookup adds
+  ``store_quarantined`` and counts as a store miss (recomputed, never
+  served).
+
+An injected/real store failure during ``put`` never fails the lookup —
+the value was already built; persistence is best-effort per entry (crash
+semantics are the store's tmp+rename contract).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.batch.cache import PatternCache
+from repro.store.artifact import KIND_SYMBOLIC
+from repro.store.faults import InjectedCrash
+from repro.store.store import ArtifactStore
+
+
+class TieredPatternCache(PatternCache):
+    """In-memory LRU (tier 1) over a persistent artifact store (tier 2).
+
+    Parameters
+    ----------
+    store:
+        The shared persistent tier; may be served to any number of caches
+        and worker processes concurrently.
+    max_entries:
+        LRU bound of the memory tier (``None`` unbounded, ``0`` disables
+        the memory tier — every lookup goes to the store).
+    kind:
+        Artifact kind the entries are stored under (default
+        ``"symbolic"`` — :class:`~repro.batch.cache.SymbolicArtifacts`).
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        max_entries: int | None = None,
+        kind: str = KIND_SYMBOLIC,
+    ) -> None:
+        super().__init__(max_entries=max_entries)
+        self.store = store
+        self.kind = kind
+
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> tuple[Any, bool]:
+        """Return ``(value, was_hit)`` — a hit from either tier counts."""
+        if key in self._store:
+            self.stats.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key], True
+        quarantined_before = self.store.stats.quarantined
+        value = self.store.get(key, self.kind)
+        self.stats.store_quarantined += (
+            self.store.stats.quarantined - quarantined_before
+        )
+        if value is not None:
+            self.stats.hits += 1
+            self.stats.store_hits += 1
+            self._memoize(key, value)
+            return value, True
+        self.stats.misses += 1
+        self.stats.store_misses += 1
+        value = builder()
+        try:
+            self.store.put(key, self.kind, value)
+        except InjectedCrash:
+            # Simulated process death must unwind like the real thing.
+            raise
+        except OSError:
+            # Best-effort persistence: a full disk / permission hiccup
+            # degrades to "this entry stays memory-only", not a crash.
+            pass
+        self._memoize(key, value)
+        return value, False
+
+    def _memoize(self, key: str, value: Any) -> None:
+        if self.max_entries == 0:
+            return
+        self._store[key] = value
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.stats.evictions += 1
+
+
+__all__ = ["TieredPatternCache"]

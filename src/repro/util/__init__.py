@@ -1,5 +1,11 @@
-"""Shared utilities: validation, FLOP formulas, ASCII tables."""
+"""Shared utilities: validation, FLOP formulas, ASCII tables, atomic writes."""
 
+from repro.util.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    cleanup_tmp_files,
+)
 from repro.util.flops import (
     cholesky_flops,
     gemm_flops,
@@ -38,4 +44,8 @@ __all__ = [
     "Table",
     "format_series",
     "format_si",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "cleanup_tmp_files",
 ]

@@ -1,0 +1,76 @@
+"""Atomic file writes: tmp + fsync + rename, never a torn artifact.
+
+Every JSON/CSV/text artifact the repo emits (Chrome traces, metrics dumps,
+bench result tables, persistent-store objects) goes through these helpers:
+the content is written to a uniquely named temporary file *in the target
+directory* (rename is only atomic within one filesystem), flushed and
+fsynced, then moved over the destination with ``os.replace``.  A process
+killed mid-write leaves at worst a stale ``.tmp-*`` file next to the
+target — the destination either holds the complete previous content or
+the complete new content, so downstream readers (``tools/check_bench.py``,
+``python -m repro trace``, the artifact store) never see truncated JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_bytes(path, data: bytes) -> str:
+    """Write *data* to *path* atomically; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.tmp-", suffix=""
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return str(path)
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> str:
+    """Write *text* to *path* atomically; returns the path written."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path, obj, **dumps_kwargs) -> str:
+    """Serialize *obj* as JSON and write it atomically."""
+    return atomic_write_text(path, json.dumps(obj, **dumps_kwargs))
+
+
+def cleanup_tmp_files(directory) -> int:
+    """Remove stale ``.{name}.tmp-*`` leftovers of interrupted writes in
+    *directory* (non-recursive); returns how many were removed."""
+    directory = Path(directory)
+    removed = 0
+    if not directory.is_dir():
+        return 0
+    for entry in directory.iterdir():
+        if entry.is_file() and entry.name.startswith(".") and ".tmp-" in entry.name:
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "cleanup_tmp_files",
+]

@@ -98,3 +98,87 @@ def test_cli_batch_validates_flag_combinations():
         main(["batch", "--mesh", "jittered", "--dim", "3"])
     with pytest.raises(ValueError, match="--parts only applies"):
         main(["batch", "--parts", "8", "--cells", "12"])
+
+
+# ---------------------------------------------------------------------------
+# assembly-as-a-service: work / store
+
+
+def _svc(tmp_path) -> str:
+    return str(tmp_path / "service")
+
+
+def test_cli_work_submit_run_status(tmp_path, capsys):
+    root = _svc(tmp_path)
+    rc = main(["work", "submit", "--root", root, "--grid", "2x2", "--cells", "8",
+               "--count", "2", "--device", "cpu"])
+    assert rc == 0
+    assert "submitted 2 assemble job(s)" in capsys.readouterr().out
+    rc = main(["work", "run", "--root", root, "--worker-id", "w1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "worker w1: 2 done" in out
+    assert "store:" in out
+    rc = main(["work", "status", "--root", root, "--jobs", "--strict"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2 done" in out and "#1 assemble" in out
+
+
+def test_cli_work_status_strict_fails_on_pending(tmp_path, capsys):
+    root = _svc(tmp_path)
+    main(["work", "submit", "--root", root, "--device", "cpu"])
+    capsys.readouterr()
+    assert main(["work", "status", "--root", root, "--strict"]) == 1
+
+
+def test_cli_work_run_injected_crash_exits_42(tmp_path, capsys):
+    root = _svc(tmp_path)
+    main(["work", "submit", "--root", root, "--grid", "2x2", "--cells", "8",
+          "--device", "cpu"])
+    capsys.readouterr()
+    rc = main(["work", "run", "--root", root, "--worker-id", "w1",
+               "--faults", "worker.job.crash:1"])
+    assert rc == 42
+    assert "crashed" in capsys.readouterr().err
+
+
+def test_cli_work_submit_payload_json_overrides(tmp_path, capsys):
+    root = _svc(tmp_path)
+    rc = main(["work", "submit", "--root", root,
+               "--payload", '{"cells": 6, "grid": "2x2", "device": "cpu"}'])
+    assert rc == 0
+    capsys.readouterr()
+    assert main(["work", "run", "--root", root]) == 0
+
+
+def test_cli_work_run_faults_reach_the_store(tmp_path, capsys):
+    """`--faults store.put.torn:1` tears the first commit: the next job
+    quarantines and recomputes it, and the store ends up clean."""
+    root = _svc(tmp_path)
+    main(["work", "submit", "--root", root, "--grid", "2x2", "--cells", "8",
+          "--count", "2", "--device", "cpu"])
+    capsys.readouterr()
+    rc = main(["work", "run", "--root", root, "--worker-id", "w1",
+               "--faults", "store.put.torn:1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "worker w1: 2 done" in out
+    assert "1 quarantined" in out
+    assert main(["store", "verify", "--root", root]) == 0
+    assert "1 ok, 0 quarantined" in capsys.readouterr().out
+
+
+def test_cli_store_stats_ls_verify(tmp_path, capsys):
+    root = _svc(tmp_path)
+    main(["work", "submit", "--root", root, "--grid", "2x2", "--cells", "8",
+          "--device", "cpu"])
+    main(["work", "run", "--root", root])
+    capsys.readouterr()
+    assert main(["store", "stats", "--root", root]) == 0
+    out = capsys.readouterr().out
+    assert "committed artifact(s)" in out and "symbolic" in out
+    assert main(["store", "ls", "--root", root]) == 0
+    assert "symbolic" in capsys.readouterr().out
+    assert main(["store", "verify", "--root", root]) == 0
+    assert "0 quarantined" in capsys.readouterr().out

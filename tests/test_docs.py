@@ -33,19 +33,24 @@ def test_intra_repo_links_resolve():
     assert check_docs.check_links() == []
 
 
-def test_documented_batch_flags_exist_in_cli(capsys):
-    """Every --flag the docs mention for `repro batch` is a real flag."""
+def test_documented_flags_exist_in_cli(capsys):
+    """Every --flag the docs mention exists in one of the checked helps
+    (`repro batch`, `repro work ...`, `repro store ...`)."""
     check_docs = _load_check_docs()
     flags = check_docs.documented_flags()
     assert "--execution" in flags and "--no-canonicalize" in flags
+    assert "--faults" in flags and "--strict" in flags
 
     from repro.__main__ import main
 
-    try:
-        main(["batch", "--help"])
-    except SystemExit as exc:  # argparse exits 0 after printing help
-        assert exc.code == 0
-    help_text = capsys.readouterr().out
+    helps = []
+    for command in check_docs.HELP_COMMANDS:
+        try:
+            main(list(command))
+        except SystemExit as exc:  # argparse exits 0 after printing help
+            assert exc.code == 0
+        helps.append(capsys.readouterr().out)
+    help_text = "\n".join(helps)
     missing = sorted(f for f in flags if f not in help_text)
     assert not missing, f"documented flags missing from CLI help: {missing}"
 

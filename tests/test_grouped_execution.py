@@ -337,3 +337,85 @@ def test_host_worker_count():
     assert host_worker_count(None, n_tasks=1) == 1
     with pytest.raises(ValueError, match="n_workers"):
         host_worker_count(0)
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation: batched-task failure falls back per-member
+
+
+def test_engine_group_failure_falls_back_per_member(floating_4x4):
+    cfg = default_config("gpu", 2)
+    ref = BatchAssembler(config=cfg).assemble_batch(
+        floating_4x4, execution="per-member"
+    )
+    engine = BatchAssembler(config=cfg)
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("batched kernel exploded")
+
+    engine.assembler.assemble_group = boom
+    with pytest.warns(RuntimeWarning, match="falling back to"):
+        batch = engine.assemble_batch(floating_4x4, execution="grouped")
+    assert batch.stats.n_exec_fallbacks > 0
+    assert batch.stats.n_grouped == 0
+    assert all(r is not None for r in batch.results)
+    for a, b in zip(ref.results, batch.results):
+        assert np.array_equal(a.f, b.f)  # exact per-member path: bitwise
+    assert "re-executed per-member" in batch.stats.summary()
+
+
+def test_engine_partial_group_failure_only_falls_back_failed_group(floating_4x4):
+    """Only the group whose kernels raise degrades; the others stay batched."""
+    cfg = default_config("gpu", 2)
+    engine = BatchAssembler(config=cfg)
+    original = engine.assembler.assemble_group
+    calls = {"n": 0}
+
+    def flaky(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("first group exploded")
+        return original(*args, **kwargs)
+
+    engine.assembler.assemble_group = flaky
+    with pytest.warns(RuntimeWarning, match="falling back to"):
+        batch = engine.assemble_batch(
+            floating_4x4, execution="grouped", n_workers=1
+        )
+    assert batch.stats.n_exec_fallbacks == 1
+    assert batch.stats.n_grouped > 0  # the surviving groups still batched
+    assert all(r is not None for r in batch.results)
+    ref = BatchAssembler(config=cfg).assemble_batch(
+        floating_4x4, execution="per-member"
+    )
+    for a, b in zip(ref.results, batch.results):
+        scale = max(1.0, float(np.abs(a.f).max(initial=0.0)))
+        assert np.allclose(b.f, a.f, rtol=RTOL, atol=ATOL * scale)
+
+
+def test_engine_union_failure_falls_back_per_member():
+    from repro.dd import decompose
+    from repro.fem import heat_problem
+    from repro.part import make_mesh
+
+    problem = heat_problem(make_mesh("jittered", 12, seed=1), dirichlet=())
+    items = items_from_decomposition(decompose(
+        problem, n_subdomains=6, partitioner="rcb", seed=1
+    ))
+    cfg = default_config("gpu", 2)
+    engine = BatchAssembler(config=cfg, signature_mode="near")
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("union kernel exploded")
+
+    engine.assembler.assemble_union = boom
+    with pytest.warns(RuntimeWarning, match="falling back to"):
+        batch = engine.assemble_batch(items, execution="union")
+    assert batch.stats.n_exec_fallbacks > 0
+    assert all(r is not None for r in batch.results)
+    ref = BatchAssembler(config=cfg, signature_mode="near").assemble_batch(
+        items, execution="per-member"
+    )
+    for a, b in zip(ref.results, batch.results):
+        scale = max(1.0, float(np.abs(a.f).max(initial=0.0)))
+        assert np.allclose(b.f, a.f, rtol=RTOL, atol=ATOL * scale)

@@ -1,0 +1,292 @@
+"""Tests for the SQLite work queue (``repro.store.queue``).
+
+Lease/heartbeat/backoff/dead-letter semantics are exercised with an
+injectable clock (no sleeping), plus a hypothesis state sweep asserting
+the table invariants under arbitrary worker interleavings.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    DEAD,
+    DONE,
+    FAILED,
+    LEASED,
+    OPEN,
+    FaultInjector,
+    InjectedCrash,
+    JobQueue,
+    LostLease,
+    QueueError,
+)
+
+
+class FakeClock:
+    """Deterministic, manually advanced wall clock."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    q = JobQueue(tmp_path / "queue.db", backoff_base=1.0, backoff_cap=8.0, clock=clock)
+    yield q
+    q.close()
+
+
+def test_submit_claim_complete_lifecycle(queue):
+    job_id = queue.submit("assemble", {"cells": 4})
+    assert queue.get(job_id).status == OPEN
+    job = queue.claim("w1", lease_seconds=30.0)
+    assert job.id == job_id and job.status == LEASED
+    assert job.attempts == 1 and job.owner == "w1"
+    assert job.payload == {"cells": 4}
+    queue.complete(job_id, "w1", {"ok": True})
+    done = queue.get(job_id)
+    assert done.status == DONE and done.result == {"ok": True}
+    assert queue.pending() == 0
+
+
+def test_claim_empty_queue_returns_none(queue):
+    assert queue.claim("w1") is None
+
+
+def test_claim_orders_by_id(queue):
+    first = queue.submit("assemble", {"n": 1})
+    queue.submit("assemble", {"n": 2})
+    assert queue.claim("w1").id == first
+
+
+def test_expired_lease_is_reaped_and_reclaimable(queue, clock):
+    job_id = queue.submit("assemble", {})
+    queue.claim("w1", lease_seconds=10.0)
+    # Within the lease nothing is claimable.
+    assert queue.claim("w2") is None
+    # Past the deadline the job is reaped into the retry pool; after its
+    # backoff it is claimable by someone else, counting a new attempt.
+    clock.advance(10.1)
+    queue.claim("w2")  # triggers the reap; job now failed-in-backoff
+    job = queue.get(job_id)
+    assert job.status == FAILED and "lease expired" in job.error
+    clock.advance(queue.backoff_base + 0.1)
+    job = queue.claim("w2")
+    assert job is not None and job.owner == "w2" and job.attempts == 2
+
+
+def test_heartbeat_extends_lease(queue, clock):
+    job_id = queue.submit("assemble", {})
+    queue.claim("w1", lease_seconds=10.0)
+    clock.advance(8.0)
+    queue.heartbeat(job_id, "w1", lease_seconds=10.0)
+    clock.advance(8.0)  # 16s after claim: dead without the heartbeat
+    assert queue.claim("w2") is None
+    assert queue.get(job_id).status == LEASED
+
+
+def test_late_heartbeat_raises_lost_lease(queue, clock):
+    job_id = queue.submit("assemble", {})
+    queue.claim("w1", lease_seconds=10.0)
+    clock.advance(11.0)
+    with pytest.raises(LostLease):
+        queue.heartbeat(job_id, "w1")
+    assert queue.get(job_id).status == FAILED
+    # The queue must stay usable (no transaction left open).
+    assert queue.claim("w2") is None  # still in backoff
+
+
+def test_complete_after_reap_raises_lost_lease(queue, clock):
+    job_id = queue.submit("assemble", {})
+    queue.claim("w1", lease_seconds=10.0)
+    clock.advance(10.1)
+    queue.claim("w2")  # reap
+    clock.advance(2.0)
+    other = queue.claim("w2")
+    assert other.id == job_id
+    with pytest.raises(LostLease):
+        queue.complete(job_id, "w1", {"stale": True})
+    queue.complete(job_id, "w2", {"fresh": True})
+    assert queue.get(job_id).result == {"fresh": True}
+
+
+def test_fail_applies_capped_exponential_backoff(queue, clock):
+    job_id = queue.submit("assemble", {}, max_attempts=10)
+    expected = [1.0, 2.0, 4.0, 8.0, 8.0]  # base 1, cap 8
+    for backoff in expected:
+        job = queue.claim("w1")
+        assert job is not None
+        queue.fail(job_id, "w1", "boom")
+        row = queue.get(job_id)
+        assert row.status == FAILED
+        assert row.backoff_until == pytest.approx(clock.now + backoff)
+        # Not claimable inside the backoff window.
+        clock.advance(backoff * 0.5)
+        assert queue.claim("w1") is None
+        clock.advance(backoff * 0.5 + 0.01)
+
+
+def test_dead_letter_after_max_attempts(queue, clock):
+    job_id = queue.submit("assemble", {}, max_attempts=2)
+    for _ in range(2):
+        job = queue.claim("w1")
+        assert job is not None
+        queue.fail(job_id, "w1", "boom")
+        clock.advance(10.0)
+    job = queue.get(job_id)
+    assert job.status == DEAD and job.error == "boom"
+    assert queue.claim("w1") is None
+    assert queue.pending() == 0
+    assert queue.counts()[DEAD] == 1
+
+
+def test_claim_crash_leaves_stale_lease_then_recovers(tmp_path, clock):
+    faults = FaultInjector("queue.claim.crash:1")
+    q = JobQueue(tmp_path / "q.db", clock=clock, faults=faults)
+    job_id = q.submit("assemble", {})
+    with pytest.raises(InjectedCrash):
+        q.claim("w1", lease_seconds=5.0)
+    # The lease committed before the "death": the row is leased by a ghost.
+    assert q.get(job_id).status == LEASED
+    q2 = JobQueue(tmp_path / "q.db", clock=clock)
+    assert q2.claim("w2") is None
+    clock.advance(5.1)
+    q2.claim("w2")  # reap
+    clock.advance(2.0)
+    job = q2.claim("w2")
+    assert job is not None and job.id == job_id and job.attempts == 2
+    q.close()
+    q2.close()
+
+
+def test_complete_crash_loses_attempt_not_job(tmp_path, clock):
+    faults = FaultInjector("queue.complete.crash:1")
+    q = JobQueue(tmp_path / "q.db", clock=clock, faults=faults)
+    job_id = q.submit("assemble", {})
+    q.claim("w1", lease_seconds=5.0)
+    with pytest.raises(InjectedCrash):
+        q.complete(job_id, "w1", {"lost": True})
+    assert q.get(job_id).status == LEASED  # completion never committed
+    clock.advance(5.1)
+    q.claim("w2")  # reap
+    clock.advance(2.0)
+    job = q.claim("w2")
+    assert job.id == job_id
+    q.complete(job_id, "w2", {"ok": True})
+    assert q.get(job_id).status == DONE
+    q.close()
+
+
+def test_concurrent_claims_are_disjoint(tmp_path):
+    q = JobQueue(tmp_path / "q.db")
+    n_jobs = 20
+    for i in range(n_jobs):
+        q.submit("assemble", {"i": i})
+    claimed: list[int] = []
+    lock = threading.Lock()
+
+    def worker(name: str) -> None:
+        mine = JobQueue(tmp_path / "q.db")
+        try:
+            while True:
+                job = mine.claim(name, lease_seconds=60.0)
+                if job is None:
+                    return
+                with lock:
+                    claimed.append(job.id)
+                mine.complete(job.id, name, {})
+        finally:
+            mine.close()
+
+    threads = [threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sorted(claimed) == sorted(set(claimed))  # no double-claims
+    assert len(claimed) == n_jobs
+    assert q.counts()[DONE] == n_jobs
+    q.close()
+
+
+def test_unknown_job_raises(queue):
+    with pytest.raises(QueueError):
+        queue.get(999)
+    with pytest.raises(QueueError):
+        queue.complete(999, "w1")
+
+
+def test_submit_validates_max_attempts(queue):
+    with pytest.raises(ValueError):
+        queue.submit("assemble", {}, max_attempts=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.sampled_from(["claim", "complete", "fail", "tick", "big_tick"]),
+        min_size=1,
+        max_size=40,
+    ),
+    n_jobs=st.integers(min_value=1, max_value=4),
+)
+def test_queue_invariants_hold_under_any_interleaving(tmp_path_factory, ops, n_jobs):
+    """Whatever a confused worker does, the table stays consistent:
+    states are legal, attempts never exceed max+? bounds, done jobs keep
+    their results, and nothing is leased by two owners (single worker
+    here; disjointness under real concurrency is tested above)."""
+    tmp = tmp_path_factory.mktemp("q")
+    clock = FakeClock()
+    q = JobQueue(tmp / "q.db", backoff_base=1.0, backoff_cap=4.0, clock=clock)
+    for i in range(n_jobs):
+        q.submit("assemble", {"i": i}, max_attempts=3)
+    held: int | None = None
+    for op in ops:
+        if op == "claim":
+            job = q.claim("w", lease_seconds=5.0)
+            if job is not None:
+                held = job.id
+        elif op == "complete" and held is not None:
+            try:
+                q.complete(held, "w", {"ok": True})
+            except LostLease:
+                pass
+            held = None
+        elif op == "fail" and held is not None:
+            try:
+                q.fail(held, "w", "induced")
+            except LostLease:
+                pass
+            held = None
+        elif op == "tick":
+            clock.advance(1.0)
+        elif op == "big_tick":
+            clock.advance(10.0)
+    for job in q.jobs():
+        assert job.status in (OPEN, LEASED, DONE, FAILED, DEAD)
+        assert 0 <= job.attempts <= job.max_attempts
+        if job.status == DONE:
+            assert job.result == {"ok": True}
+        if job.status == DEAD:
+            assert job.attempts == job.max_attempts
+        if job.status == LEASED:
+            assert job.owner == "w"
+        if job.status == FAILED:
+            assert job.backoff_until <= clock.now + q.backoff_cap
+    q.close()

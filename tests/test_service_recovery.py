@@ -1,0 +1,176 @@
+"""Crash-recovery property tests for assembly-as-a-service.
+
+The contract under test: a worker killed at *any* fault point loses at
+most its current attempt — after a "restart" (a fresh worker against the
+same service root), every job completes, the recomputed Schur complements
+are identical to an uninterrupted run's, and no corrupted store entry is
+ever served.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import (
+    FAULT_POINTS,
+    ArtifactStore,
+    FaultInjector,
+    InjectedCrash,
+    JobQueue,
+    run_worker,
+)
+
+#: Small assemble payload every recovery test runs (one warm-up friendly
+#: structured grid; deterministic digest with n_workers=1 per-member).
+PAYLOAD = {"cells": 8, "grid": "2x2", "execution": "per-member", "device": "cpu"}
+
+
+@pytest.fixture(scope="module")
+def expected_digest():
+    from repro.store import reference_digest
+
+    return reference_digest(PAYLOAD)
+
+
+def _service(tmp_path, clock=None, faults=None):
+    kwargs = {} if clock is None else {"clock": clock}
+    queue = JobQueue(tmp_path / "queue.db", backoff_base=0.0, **kwargs)
+    store = ArtifactStore(tmp_path / "store", faults=faults)
+    return queue, store
+
+
+class SteppableClock:
+    def __init__(self) -> None:
+        import time
+
+        self._time = time
+        self.offset = 0.0
+
+    def __call__(self) -> float:
+        return self._time.time() + self.offset
+
+
+@pytest.mark.parametrize("point", FAULT_POINTS)
+def test_crash_at_every_fault_point_recovers_bit_identical(
+    tmp_path, point, expected_digest
+):
+    """Inject each fault once, 'kill' the worker if it crashes, then drain
+    with a fresh worker and compare digests against the reference run."""
+    clock = SteppableClock()
+    faults = FaultInjector(f"{point}:1")
+    queue, store = _service(tmp_path, clock=clock, faults=faults)
+    queue.faults = faults
+    n_jobs = 2
+    for _ in range(n_jobs):
+        queue.submit("assemble", PAYLOAD)
+
+    crashed = False
+    try:
+        run_worker(queue, store, owner="w1", lease_seconds=5.0, faults=faults)
+    except InjectedCrash:
+        crashed = True
+    if point in ("store.put.crash", "queue.claim.crash", "queue.complete.crash",
+                 "worker.job.crash"):
+        assert crashed, f"{point} should have killed the worker"
+        assert faults.fired.get(point) == 1
+    # "Restart": expire any stale lease instead of sleeping, then drain
+    # with a clean worker sharing the same service root.
+    clock.offset += 6.0
+    queue2, store2 = _service(tmp_path, clock=clock)
+    stats = run_worker(queue2, store2, owner="w2", lease_seconds=5.0)
+    counts = queue2.counts()
+    assert counts["done"] == n_jobs, (point, counts, stats.summary())
+    assert counts["open"] == counts["leased"] == counts["failed"] == 0
+    for job in queue2.jobs(status="done"):
+        assert job.result["sc_digest"] == expected_digest, point
+        assert job.result["n_quarantined"] == 0 or point == "store.put.torn"
+    queue.close()
+    queue2.close()
+
+
+def test_torn_write_is_quarantined_not_served(tmp_path, expected_digest):
+    """A torn store commit must never reach a consumer: the warm run
+    quarantines it, recomputes, and still produces the exact digest."""
+    clock = SteppableClock()
+    faults = FaultInjector("store.put.torn:1")
+    queue, store = _service(tmp_path, clock=clock, faults=faults)
+    queue.submit("assemble", PAYLOAD)
+    run_worker(queue, store, owner="w1", lease_seconds=5.0, faults=faults)
+    assert faults.fired.get("store.put.torn") == 1
+
+    # Second job against the same (partially torn) store.
+    queue.submit("assemble", PAYLOAD)
+    queue2, store2 = _service(tmp_path, clock=clock)
+    run_worker(queue2, store2, owner="w2", lease_seconds=5.0)
+    jobs = queue2.jobs(status="done")
+    assert len(jobs) == 2
+    for job in jobs:
+        assert job.result["sc_digest"] == expected_digest
+    # Exactly the torn entry was quarantined on the warm read.
+    assert sum(j.result["n_quarantined"] for j in jobs) == 1
+    assert store2.verify()[1] == 0  # everything left in the store is clean
+    queue.close()
+    queue2.close()
+
+
+def test_repeated_crashes_eventually_dead_letter(tmp_path):
+    """A job that crashes the worker on every attempt burns through its
+    attempts and dead-letters instead of looping forever."""
+    clock = SteppableClock()
+    queue, store = _service(tmp_path, clock=clock)
+    job_id = queue.submit("assemble", PAYLOAD, max_attempts=2)
+    for attempt in range(2):
+        faults = FaultInjector("worker.job.crash:1")
+        with pytest.raises(InjectedCrash):
+            run_worker(queue, store, owner=f"w{attempt}", lease_seconds=5.0,
+                       faults=faults)
+        clock.offset += 6.0
+    # Both attempts died mid-job; the next claim reaps the second lease
+    # and, with attempts exhausted, dead-letters the job.
+    stats = run_worker(queue, store, owner="w-final", lease_seconds=5.0)
+    assert stats.n_claimed == 0
+    job = queue.get(job_id)
+    assert job.status == "dead"
+    assert queue.pending() == 0
+    queue.close()
+
+
+def test_lost_lease_drops_result(tmp_path):
+    """A worker that stalls past its lease must drop the result: the job
+    is completed by whoever re-leased it, never double-completed."""
+    clock = SteppableClock()
+    queue, store = _service(tmp_path, clock=clock)
+    job_id = queue.submit("assemble", PAYLOAD)
+    job = queue.claim("slow", lease_seconds=5.0)
+    assert job.id == job_id
+    # The slow worker stalls; its lease expires and w2 drains the queue.
+    clock.offset += 6.0
+    stats = run_worker(queue, store, owner="w2", lease_seconds=5.0)
+    assert stats.n_done == 1
+    # The stalled worker wakes up and tries to finish: LostLease.
+    from repro.store import LostLease
+
+    with pytest.raises(LostLease):
+        queue.complete(job_id, "slow", {"stale": True})
+    assert queue.get(job_id).result["sc_digest"]
+    queue.close()
+
+
+def test_two_workers_share_one_warm_store(tmp_path, expected_digest):
+    """Workers draining the same root reuse each other's artifacts: the
+    second worker's jobs see store hits, and digests agree throughout."""
+    queue, store = _service(tmp_path)
+    for _ in range(3):
+        queue.submit("assemble", PAYLOAD)
+    run_worker(queue, store, owner="w1", lease_seconds=30.0, max_jobs=1)
+    stats2 = run_worker(queue, store, owner="w2", lease_seconds=30.0)
+    assert stats2.n_done == 2
+    jobs = queue.jobs(status="done")
+    assert [j.result["sc_digest"] for j in jobs] == [expected_digest] * 3
+    # Jobs after the first hit the persistent tier for every pattern.
+    later = [j for j in jobs if j.result["store_hits"] > 0]
+    assert len(later) == 2
+    for job in later:
+        assert job.result["store_misses"] == 0
+        assert job.result["hit_rate"] == 1.0
+    queue.close()

@@ -7,9 +7,11 @@ Two checks, no third-party dependencies:
    ``docs/*.md`` must resolve to an existing file or directory (external
    ``http(s)://`` links and pure ``#anchors`` are skipped; a ``#fragment``
    on a relative link is stripped before checking).
-2. **Flags** — every ``--flag`` token mentioned in ``docs/batching.md`` and
-   ``README.md`` that belongs to the ``batch`` subcommand must appear in
-   ``python -m repro batch --help``, so the docs cannot drift from the CLI.
+2. **Flags** — every ``--flag`` token mentioned in the flag-checked docs
+   (``README.md``, ``docs/batching.md``, ``docs/service.md``, ...) must
+   appear in the help output of one of the checked subcommands
+   (``repro batch``, ``repro work submit/run/status``, ``repro store
+   verify``), so the docs cannot drift from the CLI.
 
 Run from the repository root (CI runs it in the ``docs`` job)::
 
@@ -41,16 +43,28 @@ DOC_FILES = (
     "docs/batching.md",
     "docs/unstructured.md",
     "docs/observability.md",
+    "docs/service.md",
     "docs/ci.md",
 )
 
-#: Files whose ``--flags`` must exist in ``python -m repro batch --help``.
+#: Files whose ``--flags`` must exist in one of the checked CLI helps.
 FLAG_DOC_FILES = (
     "README.md",
     "docs/batching.md",
     "docs/unstructured.md",
     "docs/observability.md",
+    "docs/service.md",
     "docs/ci.md",
+)
+
+#: Subcommands whose ``--help`` output the documented flags are checked
+#: against (a flag may live in any of them).
+HELP_COMMANDS = (
+    ("batch", "--help"),
+    ("work", "submit", "--help"),
+    ("work", "run", "--help"),
+    ("work", "status", "--help"),
+    ("store", "verify", "--help"),
 )
 
 #: Documented flags that belong to other subcommands or to pytest, not to
@@ -107,25 +121,30 @@ def documented_flags(repo: Path = REPO, files=FLAG_DOC_FILES) -> set[str]:
     return flags - FLAG_ALLOWLIST
 
 
-def batch_help_text(repo: Path = REPO) -> str:
-    """Output of ``python -m repro batch --help`` with ``src`` importable."""
-    proc = subprocess.run(
-        [sys.executable, "-m", "repro", "batch", "--help"],
-        capture_output=True,
-        text=True,
-        cwd=repo,
-        env={**__import__("os").environ, "PYTHONPATH": str(repo / "src")},
-    )
-    if proc.returncode != 0:
-        raise RuntimeError(f"repro batch --help failed:\n{proc.stderr}")
-    return proc.stdout
+def cli_help_text(repo: Path = REPO) -> str:
+    """Concatenated ``--help`` output of every checked subcommand."""
+    texts = []
+    for command in HELP_COMMANDS:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", *command],
+            capture_output=True,
+            text=True,
+            cwd=repo,
+            env={**__import__("os").environ, "PYTHONPATH": str(repo / "src")},
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"repro {' '.join(command)} failed:\n{proc.stderr}"
+            )
+        texts.append(proc.stdout)
+    return "\n".join(texts)
 
 
 def check_flags(repo: Path = REPO) -> list[str]:
     """Return descriptions of documented flags missing from the CLI help."""
-    help_text = batch_help_text(repo)
+    help_text = cli_help_text(repo)
     return [
-        f"documented flag {flag} not in `python -m repro batch --help`"
+        f"documented flag {flag} not in any checked `python -m repro` help"
         for flag in sorted(documented_flags(repo))
         if flag not in help_text
     ]
