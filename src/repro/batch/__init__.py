@@ -45,13 +45,14 @@ from repro.batch.fingerprint import (
     subdomain_fingerprint,
     union_fingerprint,
 )
-from repro.batch.stats import BatchStats
+from repro.batch.stats import BatchStats, SolveStats
 
 __all__ = [
     "BatchAssembler",
     "BatchItem",
     "BatchResult",
     "BatchStats",
+    "SolveStats",
     "EXECUTION_MODES",
     "GROUPED_AUTO_THRESHOLD",
     "GROUPED_AUTO_MAX_SPARSE_ORDER",

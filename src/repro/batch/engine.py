@@ -494,6 +494,17 @@ class BatchAssembler:
             result.trace = tracer.trace(mark)
         return result
 
+    @staticmethod
+    def record_solve_stats(stats) -> None:
+        """Publish solve-phase counters (:class:`repro.batch.stats.SolveStats`)
+        into the active tracer's metrics registry under the ``solve.``
+        prefix — the solve-side twin of the ``batch.`` counters this
+        engine records after every assembly, so one metrics export carries
+        the whole assemble-then-solve story."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            record_batch_stats(tracer.metrics, stats, prefix="solve.")
+
     def _assemble_batch(
         self,
         items: list[BatchItem | tuple],

@@ -259,4 +259,78 @@ class BatchStats:
         return "\n".join(line for line in lines if line)
 
 
-__all__ = ["BatchStats"]
+@dataclass
+class SolveStats:
+    """Counters and simulated-time aggregates of one (block) FETI solve.
+
+    The solve-phase twin of :class:`BatchStats`: where the assembly
+    counters say how much preprocessing the population shared, these say
+    how the per-iteration work executed — how many RHS columns rode one
+    block solve, how many kernel launches each iteration cost grouped vs
+    per-subdomain, and how much simulated per-iteration time the batched
+    dual-operator path charged.  ``launches_sequential_per_iteration`` is
+    the comparator (6 launches per subdomain per application); their ratio
+    — :attr:`launch_reduction` — is the solve-side analogue of the
+    assembly engine's grouped-vs-per-member speedup.  ``n_deflated``
+    counts RHS columns retired early by the block recurrence's
+    convergence deflation.
+    """
+
+    n_rhs: int = 0
+    n_subdomains: int = 0
+    n_groups: int = 0
+    iterations: int = 0
+    n_deflated: int = 0
+    launches_per_iteration: int = 0
+    launches_sequential_per_iteration: int = 0
+    apply_seconds: float = 0.0
+    apply_seconds_per_iteration: float = 0.0
+    lowrank_rank: int = 0
+
+    @property
+    def launch_reduction(self) -> float:
+        """Sequential over grouped launches per iteration (>= 1.0 when
+        grouping helps; 0.0 for an empty solve)."""
+        return (
+            self.launches_sequential_per_iteration / self.launches_per_iteration
+            if self.launches_per_iteration
+            else 0.0
+        )
+
+    def merge(self, other: "SolveStats") -> "SolveStats":
+        """Combine two solves' statistics (counters and times add)."""
+        return SolveStats(
+            n_rhs=self.n_rhs + other.n_rhs,
+            n_subdomains=self.n_subdomains + other.n_subdomains,
+            n_groups=self.n_groups + other.n_groups,
+            iterations=self.iterations + other.iterations,
+            n_deflated=self.n_deflated + other.n_deflated,
+            launches_per_iteration=self.launches_per_iteration
+            + other.launches_per_iteration,
+            launches_sequential_per_iteration=self.launches_sequential_per_iteration
+            + other.launches_sequential_per_iteration,
+            apply_seconds=self.apply_seconds + other.apply_seconds,
+            apply_seconds_per_iteration=self.apply_seconds_per_iteration
+            + other.apply_seconds_per_iteration,
+            lowrank_rank=max(self.lowrank_rank, other.lowrank_rank),
+        )
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"solve:             {self.n_rhs} RHS column(s) over "
+            f"{self.n_subdomains} subdomain(s) in {self.n_groups} group(s)",
+            f"iterations:        {self.iterations} "
+            f"({self.n_deflated} column(s) deflated early)",
+            f"launches/iter:     {self.launches_per_iteration} grouped vs "
+            f"{self.launches_sequential_per_iteration} per-subdomain "
+            f"({self.launch_reduction:.2f}x reduction)",
+            f"apply:             {self.apply_seconds * 1e3:.3f} ms simulated "
+            f"({self.apply_seconds_per_iteration * 1e3:.3f} ms per iteration)",
+        ]
+        if self.lowrank_rank:
+            lines.append(f"low-rank:          rank-{self.lowrank_rank} coarse correction")
+        return "\n".join(lines)
+
+
+__all__ = ["BatchStats", "SolveStats"]

@@ -38,8 +38,17 @@ class Decomposition:
         return len(self.subdomains)
 
     def gather_dual(self, local_contribs: list[np.ndarray]) -> np.ndarray:
-        """Sum per-subdomain dual contributions into a global dual vector."""
-        out = np.zeros(self.n_multipliers)
+        """Sum per-subdomain dual contributions into a global dual vector.
+
+        Contributions may be vectors ``(m_i,)`` or multi-RHS panels
+        ``(m_i, k)``; the gathered result matches their trailing shape.
+        """
+        trailing = ()
+        for contrib in local_contribs:
+            if contrib.ndim > 1:
+                trailing = contrib.shape[1:]
+                break
+        out = np.zeros((self.n_multipliers, *trailing))
         for sub, contrib in zip(self.subdomains, local_contribs):
             out[sub.multiplier_ids] += contrib
         return out

@@ -14,9 +14,11 @@ from repro.feti.dual_approaches import (
     estimate_approach_timing,
     make_approach,
 )
+from repro.feti.block_pcpg import BlockPcpgResult, block_pcpg
 from repro.feti.operator import (
     DualOperator,
     ExplicitLocalOperator,
+    GroupedDualOperator,
     ImplicitLocalOperator,
     LocalDualOperator,
     build_dual_operator,
@@ -33,11 +35,20 @@ from repro.feti.planner import (
 from repro.feti.preconditioner import (
     DirichletPreconditioner,
     IdentityPreconditioner,
+    LowRankCorrection,
     LumpedPreconditioner,
+    StackedPreconditioner,
     make_preconditioner,
 )
 from repro.feti.projector import CoarseProblem
-from repro.feti.solver import FetiSolution, FetiSolver, FetiTimings, solve_feti
+from repro.feti.solver import (
+    BlockFetiSolution,
+    FetiSolution,
+    FetiSolver,
+    FetiTimings,
+    make_load_panel,
+    solve_feti,
+)
 from repro.feti.timing import (
     CHOLMOD,
     MKL_PARDISO,
@@ -50,12 +61,17 @@ from repro.feti.timing import (
 __all__ = [
     "FetiSolver",
     "FetiSolution",
+    "BlockFetiSolution",
     "FetiTimings",
+    "make_load_panel",
     "solve_feti",
     "pcpg",
     "PcpgResult",
+    "block_pcpg",
+    "BlockPcpgResult",
     "CoarseProblem",
     "DualOperator",
+    "GroupedDualOperator",
     "build_dual_operator",
     "LocalDualOperator",
     "ImplicitLocalOperator",
@@ -64,6 +80,8 @@ __all__ = [
     "IdentityPreconditioner",
     "LumpedPreconditioner",
     "DirichletPreconditioner",
+    "StackedPreconditioner",
+    "LowRankCorrection",
     "make_preconditioner",
     "Plan",
     "plan_approach",

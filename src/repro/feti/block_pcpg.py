@@ -1,0 +1,214 @@
+"""Block (multi-RHS) PCPG for population-scale FETI solves.
+
+Solves ``F Λ = D`` for a whole panel of load cases at once: the block
+projector ``P`` and block CG recurrences of O'Leary's block conjugate
+gradients, specialized to the projected FETI dual system.  Per iteration
+the step matrix ``Γ_j = (P_j^T F P_j)^{-1} ρ_j`` (with ``ρ_j = Y_j^T W_j``)
+replaces the scalar ``γ = ρ / p^T F p``; for ``k = 1`` the recurrence
+collapses to :func:`repro.feti.pcpg.pcpg` iterate for iterate.
+
+Two rank-deficiency mechanisms keep the block well posed:
+
+* **Convergence deflation** — a column whose projected residual drops
+  under tolerance is frozen and removed from the active set; the block
+  recurrences continue on the reduced panel (``ρ`` and the search panel
+  are sliced consistently), so converged columns never pollute the step
+  matrix.
+* **Linear-dependence deflation** — when active columns become linearly
+  dependent, the small symmetric systems (``P^T F P`` and ``ρ``) go
+  singular; they are then solved through a truncated eigendecomposition
+  pseudo-inverse, which steps only within the independent subspace.
+
+The per-iteration heavy work is a *panel* application of the dual
+operator and preconditioner — exactly the shape the grouped/batched
+execution path (:class:`repro.feti.operator.GroupedDualOperator`) turns
+into one kernel launch per fingerprint group.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg
+
+from repro.feti.projector import CoarseProblem
+from repro.obs import get_tracer
+from repro.util import require
+
+#: Relative eigenvalue cutoff below which a direction counts as linearly
+#: dependent inside the small block systems.
+DEPENDENCE_CUTOFF = 1e-12
+
+
+@dataclass
+class BlockPcpgResult:
+    """Converged multiplier panel, kernel amplitudes and per-column history."""
+
+    lam: np.ndarray  #: (n_multipliers, k) multiplier panel Λ
+    alpha: np.ndarray  #: (kernel_dim, k) kernel amplitudes
+    iterations: int
+    converged: bool  #: every column converged
+    #: One ``(k,)`` array per recorded iterate: each column's projected
+    #: residual norm (deflated columns carry their frozen converged norm).
+    residuals: list[np.ndarray] = field(default_factory=list)
+    #: Iteration at which each column converged and left the active set
+    #: (0 = converged at the feasible start); -1 = never converged.
+    deflated_at: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=int))
+
+    @property
+    def n_rhs(self) -> int:
+        return self.lam.shape[1]
+
+    def column_residuals(self, j: int) -> list[float]:
+        """Residual history of RHS column *j* (frozen once deflated)."""
+        return [float(r[j]) for r in self.residuals]
+
+    @property
+    def final_residuals(self) -> np.ndarray:
+        return self.residuals[-1] if self.residuals else np.zeros(0)
+
+
+def _solve_spd(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Solve the small symmetric system ``a x = b`` of the block recurrence.
+
+    Returns ``(x, definite)``.  Nominal path: Cholesky (``a`` is SPD while
+    the active columns stay independent).  Rank-deficient path: truncated
+    eigendecomposition pseudo-inverse — steps within the numerically
+    independent subspace, zero step along dependent directions.
+    ``definite`` is False only when *no* direction has positive curvature
+    (the block analogue of scalar PCPG's ``p^T F p <= 0`` breakdown).
+    """
+    try:
+        return scipy.linalg.cho_solve(scipy.linalg.cho_factor(a), b), True
+    except scipy.linalg.LinAlgError:
+        vals, vecs = np.linalg.eigh(a)
+        cutoff = DEPENDENCE_CUTOFF * max(float(vals[-1]), 0.0)
+        keep = vals > cutoff
+        if not np.any(keep):
+            return np.zeros_like(b), False
+        inv = (vecs[:, keep] / vals[keep]) @ vecs[:, keep].T
+        return inv @ b, True
+
+
+def block_pcpg(
+    apply_f: Callable[[np.ndarray], np.ndarray],
+    d: np.ndarray,
+    g: np.ndarray,
+    e: np.ndarray,
+    apply_precond: Callable[[np.ndarray], np.ndarray] | None = None,
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+) -> BlockPcpgResult:
+    """Solve ``F Λ = D`` for a panel of load cases with block PCPG.
+
+    Parameters
+    ----------
+    apply_f:
+        Panel-capable dual operator ``Λ -> F Λ`` taking ``(m, a)`` arrays
+        (any active width ``a <= k``).
+    d:
+        Dual RHS panel ``(n_multipliers, k)``.
+    g, e:
+        Kernel matrix ``G = B R`` and coarse RHS panel ``(kernel_dim, k)``.
+    apply_precond:
+        Optional panel-capable dual preconditioner ``W -> M^{-1} W``.
+    tol:
+        Per-column relative tolerance on the projected residual.
+    max_iter:
+        Iteration cap; exceeding it returns ``converged=False``.
+    """
+    require(d.ndim == 2, "D must be a panel (n_multipliers, k)")
+    m, k = d.shape
+    require(k >= 1, "need at least one RHS column")
+    require(g.ndim == 2 and g.shape[0] == m, "G must be (n_multipliers, kdim)")
+    require(
+        e.shape == (g.shape[1], k), "E must be a panel (kernel_dim, k) matching D"
+    )
+    require(tol > 0, "tol must be positive")
+    require(max_iter >= 1, "max_iter must be >= 1")
+
+    tracer = get_tracer()
+    with tracer.span(
+        "pcpg.block_solve", m=m, k=k, kdim=int(g.shape[1]), tol=tol
+    ) as solve_span:
+        coarse = CoarseProblem(g)
+        lam = coarse.feasible_point(e)  # (m, k)
+        r = d - apply_f(lam)
+        w = coarse.project(r)
+
+        norm0 = np.linalg.norm(w, axis=0)  # (k,)
+        current = norm0.copy()
+        residuals = [current.copy()]
+        deflated_at = np.full(k, -1, dtype=int)
+        # Zero-residual columns are converged at the feasible start.
+        active = np.flatnonzero(norm0 > 0.0)
+        deflated_at[norm0 == 0.0] = 0
+        if active.size == 0:
+            alpha = coarse.alpha_from(apply_f(lam) - d)
+            solve_span.set(iterations=0, converged=True)
+            return BlockPcpgResult(
+                lam=lam, alpha=alpha, iterations=0, converged=True,
+                residuals=residuals, deflated_at=deflated_at,
+            )
+
+        wa = w[:, active]
+        z = apply_precond(wa) if apply_precond is not None else wa
+        y = coarse.project(z)
+        p = y.copy()  # search panel (m, a)
+        rho = y.T @ wa  # (a, a), symmetric PSD
+
+        converged = False
+        it = 0
+        for it in range(1, max_iter + 1):
+            with tracer.span(
+                "pcpg.block_iteration", iteration=it, active=int(active.size)
+            ) as iter_span:
+                fp = apply_f(p)  # (m, a)
+                ptfp = p.T @ fp
+                gamma, definite = _solve_spd(ptfp, rho)
+                if not definite:
+                    # Loss of positive definiteness on the projected space —
+                    # stop with the current iterate rather than diverge.
+                    break
+                lam[:, active] += p @ gamma
+                r[:, active] -= fp @ gamma
+                wa = coarse.project(r[:, active])
+                norms = np.linalg.norm(wa, axis=0)
+                current[active] = norms
+                residuals.append(current.copy())
+                iter_span.set(
+                    residual=float(norms.max()), active=int(active.size)
+                )
+
+                done = norms <= tol * norm0[active]
+                if np.any(done):
+                    deflated_at[active[done]] = it
+                    keep = np.flatnonzero(~done)
+                    active = active[keep]
+                    if active.size == 0:
+                        converged = True
+                        break
+                    # Reduce the block: drop converged columns from the
+                    # residual/search panels and slice ρ consistently.
+                    wa = wa[:, keep]
+                    p = p[:, keep]
+                    rho = rho[np.ix_(keep, keep)]
+
+                z = apply_precond(wa) if apply_precond is not None else wa
+                y = coarse.project(z)
+                rho_new = y.T @ wa
+                beta, _ = _solve_spd(rho, rho_new)
+                rho = rho_new
+                p = y + p @ beta
+
+        alpha = coarse.alpha_from(apply_f(lam) - d)
+        solve_span.set(iterations=it, converged=converged)
+    return BlockPcpgResult(
+        lam=lam, alpha=alpha, iterations=it, converged=converged,
+        residuals=residuals, deflated_at=deflated_at,
+    )
+
+
+__all__ = ["block_pcpg", "BlockPcpgResult", "DEPENDENCE_CUTOFF"]

@@ -181,6 +181,240 @@ class DualOperator:
         return out
 
 
+@dataclass
+class _ApplyGroup:
+    """One batched-execution group of the grouped dual operator.
+
+    ``bt_stack`` holds the *permuted* gluing ``bt[perm]`` of every member
+    (union-padded on the near tier), ``l_stack`` the stored factors, and
+    ``ids_stack`` the members' global multiplier ids (padded ids point at
+    multiplier 0 and carry exact structural zeros, so the scatter-add is
+    a no-op there).
+    """
+
+    members: list[int]
+    l_stack: object  # StackedCSC
+    bt_stack: object  # StackedCSC
+    ids_stack: np.ndarray
+    tier: str  # "exact" | "union"
+
+
+class GroupedDualOperator:
+    """Batched per-iteration ``F`` application across fingerprint groups.
+
+    Wraps a :class:`DualOperator` and replays its implicit application —
+    gather, SPMM with ``bt[perm]``, forward/backward TRSM on ``L``,
+    transposed SPMM, additive scatter — through the batched kernels of
+    :mod:`repro.gpu.kernels`: **one launch per kernel step per group**
+    instead of one per subdomain, 6 launches per group per application.
+
+    Grouping tiers (mirroring the assembly engine's):
+
+    * ``"exact"`` — members share one :func:`factor fingerprint
+      <repro.batch.fingerprint.factor_fingerprint>` (bit-equal factor and
+      permuted-gluing patterns), stacked with
+      :meth:`StackedCSC.from_matrices`.
+    * ``"near"`` — near classes execute padded through a
+      :func:`~repro.sparse.canonical.union_plan`: members embed at the
+      identity prefix of the pattern union, the padded factor is
+      ``[[L, 0], [0, I]]`` and padding carries structural zeros only, so
+      member results are exact (no masking needed).  Classes whose
+      :attr:`fill_ratio <repro.sparse.canonical.UnionPlan.fill_ratio>`
+      exceeds *union_fill_cap* fall back to their exact-pattern subgroups.
+
+    The numerics are identical to the per-subdomain path up to BLAS
+    association order; per-member FLOPs and traffic are identical *by
+    construction* on the exact tier (same cost formulas over the same
+    patterns), which the solver test-suite asserts through the executor
+    ledgers.
+    """
+
+    def __init__(
+        self,
+        base: DualOperator,
+        executor=None,
+        signature: str = "exact",
+        union_fill_cap: float = 8.0,
+    ) -> None:
+        require(signature in ("exact", "near"), f"unknown signature {signature!r}")
+        # Lazy imports: repro.batch / repro.gpu import feti-adjacent modules.
+        from repro.batch.fingerprint import factor_fingerprint, near_fingerprint
+        from repro.gpu.runtime import gpu_executor
+        from repro.sparse.stacked import StackedCSC
+
+        self.base = base
+        self.executor = executor if executor is not None else gpu_executor()
+        self.signature = signature
+        dec = base.decomposition
+        factors = [op.factor for op in base.locals]
+        self._l = [f.l.tocsc() for f in factors]
+        self._btp = [
+            sub.bt.tocsr()[f.perm].tocsc()
+            for sub, f in zip(dec.subdomains, factors)
+        ]
+        self._ids = [sub.multiplier_ids for sub in dec.subdomains]
+
+        by_key: dict[str, list[int]] = {}
+        for i, (sub, f) in enumerate(zip(dec.subdomains, factors)):
+            if signature == "exact":
+                key = factor_fingerprint(f, sub.bt, bt_rows=self._btp[i]).key
+            else:
+                key = near_fingerprint(sub.coords, sub.bt).key
+            by_key.setdefault(key, []).append(i)
+
+        self.groups: list[_ApplyGroup] = []
+        for members in by_key.values():
+            if signature == "exact" or self._patterns_equal(members):
+                self.groups.append(self._exact_group(members, StackedCSC))
+            else:
+                self.groups.extend(
+                    self._union_groups(members, union_fill_cap, StackedCSC)
+                )
+
+    # -- group construction -------------------------------------------------
+
+    def _patterns_equal(self, members: list[int]) -> bool:
+        first_l, first_bt = self._l[members[0]], self._btp[members[0]]
+        return all(
+            self._l[i].shape == first_l.shape
+            and self._l[i].nnz == first_l.nnz
+            and np.array_equal(self._l[i].indptr, first_l.indptr)
+            and np.array_equal(self._l[i].indices, first_l.indices)
+            and self._btp[i].shape == first_bt.shape
+            and self._btp[i].nnz == first_bt.nnz
+            and np.array_equal(self._btp[i].indptr, first_bt.indptr)
+            and np.array_equal(self._btp[i].indices, first_bt.indices)
+            for i in members[1:]
+        )
+
+    def _exact_group(self, members: list[int], stacked_cls) -> _ApplyGroup:
+        return _ApplyGroup(
+            members=members,
+            l_stack=stacked_cls.from_matrices([self._l[i] for i in members]),
+            bt_stack=stacked_cls.from_matrices([self._btp[i] for i in members]),
+            ids_stack=np.stack([self._ids[i] for i in members]),
+            tier="exact",
+        )
+
+    def _union_groups(
+        self, members: list[int], fill_cap: float, stacked_cls
+    ) -> list[_ApplyGroup]:
+        from repro.sparse.canonical import union_plan
+        from repro.sparse.stacked import stack_into_union
+
+        plan = union_plan(
+            [self._l[i] for i in members], [self._btp[i] for i in members]
+        )
+        if plan.fill_ratio > fill_cap:
+            # Padding too expensive: execute the exact-pattern subgroups.
+            sub: dict[tuple, list[int]] = {}
+            for i in members:
+                key = (
+                    self._l[i].shape, self._l[i].indices.tobytes(),
+                    self._btp[i].shape, self._btp[i].indices.tobytes(),
+                )
+                sub.setdefault(key, []).append(i)
+            return [self._exact_group(g, stacked_cls) for g in sub.values()]
+        m_max = plan.shape[1]
+        ids_stack = np.zeros((len(members), m_max), dtype=np.intp)
+        for row, i in enumerate(members):
+            ids_stack[row, : self._ids[i].size] = self._ids[i]
+        return [
+            _ApplyGroup(
+                members=members,
+                l_stack=stack_into_union(
+                    [self._l[i] for i in members], plan.l_union, pad_diagonal=True
+                ),
+                bt_stack=stack_into_union(
+                    [self._btp[i] for i in members], plan.bt_union
+                ),
+                ids_stack=ids_stack,
+                tier="union",
+            )
+        ]
+
+    # -- application --------------------------------------------------------
+
+    @property
+    def n_multipliers(self) -> int:
+        return self.base.n_multipliers
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def launches_per_application(self) -> int:
+        """Kernel launches one grouped ``F`` application costs (6 per group)."""
+        return 6 * len(self.groups)
+
+    @property
+    def sequential_launches_per_application(self) -> int:
+        """Launches of the per-subdomain path (6 per subdomain)."""
+        return 6 * len(self.base.locals)
+
+    def apply_panel(self, lam: np.ndarray) -> np.ndarray:
+        """``Q = F Λ`` on a multiplier panel — one kernel chain per group."""
+        from repro.obs import get_tracer
+
+        require(
+            lam.ndim == 2 and lam.shape[0] == self.n_multipliers,
+            "multiplier panel must be (n_multipliers, k)",
+        )
+        ex = self.executor
+        tracer = get_tracer()
+        k = lam.shape[1]
+        out = np.zeros_like(lam)
+        for grp in self.groups:
+            g = len(grp.members)
+            n, m = grp.bt_stack.shape
+            with tracer.span(
+                "feti.apply_group", members=g, tier=grp.tier, n=n, m=m, k=k
+            ):
+                gathered = ex.batched_panel_gather(lam, grp.ids_stack)
+                t = np.zeros((g, n, k))
+                ex.batched_spmm(grp.bt_stack, gathered, t, beta=0.0)
+                ex.batched_trsm_sparse(grp.l_stack, t)
+                ex.batched_trsm_sparse(grp.l_stack, t, trans=True)
+                contrib = np.zeros((g, m, k))
+                ex.batched_spmm(grp.bt_stack, t, contrib, beta=0.0, trans_a=True)
+                ex.batched_panel_scatter_add(out, grp.ids_stack, contrib)
+        return out
+
+    def apply(self, lam: np.ndarray) -> np.ndarray:
+        """Single-vector ``F lam`` through the panel path (k = 1)."""
+        require(lam.shape == (self.n_multipliers,), "dual vector size mismatch")
+        return self.apply_panel(lam[:, None])[:, 0]
+
+    def apply_panel_sequential(self, lam: np.ndarray, executor) -> np.ndarray:
+        """Per-subdomain comparator: same kernel chain, one member per launch.
+
+        Charges the identical per-member kernels (gather, SPMM, TRSM pair,
+        transposed SPMM, scatter-add) to *executor* so ledgers are directly
+        comparable with the grouped path.
+        """
+        require(
+            lam.ndim == 2 and lam.shape[0] == self.n_multipliers,
+            "multiplier panel must be (n_multipliers, k)",
+        )
+        k = lam.shape[1]
+        out = np.zeros_like(lam)
+        for l, btp, ids in zip(self._l, self._btp, self._ids):
+            n = l.shape[0]
+            v = executor.gather_rows(lam, ids)
+            t = np.zeros((n, k))
+            executor.spmm(btp, v, t, beta=0.0)
+            executor.trsm_sparse(l, t)
+            executor.trsm_sparse(l, t, trans=True)
+            c = np.zeros((ids.size, k))
+            executor.spmm(btp, t, c, beta=0.0, trans_a=True)
+            executor.scatter_add_rows(out, ids, c)
+        return out
+
+    def recover_solution(self, lam: np.ndarray, alpha: np.ndarray) -> list[np.ndarray]:
+        return self.base.recover_solution(lam, alpha)
+
+
 def build_dual_operator(
     decomposition: Decomposition,
     local_ops: list[LocalDualOperator],
@@ -212,6 +446,7 @@ __all__ = [
     "ImplicitLocalOperator",
     "ExplicitLocalOperator",
     "DualOperator",
+    "GroupedDualOperator",
     "build_dual_operator",
     "factorize_subdomain",
 ]

@@ -47,9 +47,14 @@ class CoarseProblem:
         return self._pinv @ rhs
 
     def feasible_point(self, e: np.ndarray) -> np.ndarray:
-        """``lam_0 = G (G^T G)^{-1} e`` satisfying ``G^T lam_0 = e``."""
+        """``lam_0 = G (G^T G)^{-1} e`` satisfying ``G^T lam_0 = e``.
+
+        Accepts a single constraint vector ``(kernel_dim,)`` or a panel
+        ``(kernel_dim, k)`` of load cases and matches the shape.
+        """
         if self.kernel_dim == 0:
-            return np.zeros(self.g.shape[0])
+            shape = (self.g.shape[0],) if e.ndim == 1 else (self.g.shape[0], e.shape[1])
+            return np.zeros(shape)
         return self.g @ self.solve(e)
 
     def project(self, x: np.ndarray) -> np.ndarray:
@@ -61,10 +66,12 @@ class CoarseProblem:
     def alpha_from(self, flam_minus_d: np.ndarray) -> np.ndarray:
         """Kernel amplitudes ``alpha = (G^T G)^{-1} G^T (F lam - d)``.
 
-        From the first block row of (7): ``F lam - G alpha = d``.
+        From the first block row of (7): ``F lam - G alpha = d``.  Panel
+        inputs ``(m, k)`` give panel amplitudes ``(kernel_dim, k)``.
         """
         if self.kernel_dim == 0:
-            return np.zeros(0)
+            shape = (0,) if flam_minus_d.ndim == 1 else (0, flam_minus_d.shape[1])
+            return np.zeros(shape)
         return self.solve(self.g.T @ flam_minus_d)
 
 

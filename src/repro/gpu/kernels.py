@@ -161,12 +161,26 @@ def gemm(
     )
 
 
-def spmm(a: sp.spmatrix, b: np.ndarray, c: np.ndarray, alpha: float = 1.0, beta: float = 1.0) -> KernelCost:
-    """``C <- beta C + alpha A B`` with sparse ``A`` and dense ``B``."""
-    m, k = a.shape
-    require(b.shape[0] == k, "inner dimension mismatch")
+def spmm(
+    a: sp.spmatrix,
+    b: np.ndarray,
+    c: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    trans_a: bool = False,
+) -> KernelCost:
+    """``C <- beta C + alpha op(A) B`` with sparse ``A`` and dense ``B``.
+
+    With *trans_a* the operand is applied transposed (``A^T B``) without
+    materialising the transpose — cuSPARSE's ``SPMM`` op mode.  The cost is
+    the same stored matrix streamed once, so FLOPs and traffic match the
+    non-transposed application of the same ``A``.
+    """
+    p, q = a.shape
+    inner, rows_out = (p, q) if trans_a else (q, p)
+    require(b.shape[0] == inner, "inner dimension mismatch")
     n = 1 if b.ndim == 1 else b.shape[1]
-    update = a @ b
+    update = (a.T @ b) if trans_a else (a @ b)
     if beta == 0.0:
         c[...] = alpha * update
     else:
@@ -174,7 +188,9 @@ def spmm(a: sp.spmatrix, b: np.ndarray, c: np.ndarray, alpha: float = 1.0, beta:
         c += alpha * update
     return KernelCost(
         flops=spmm_flops(a.nnz, n),
-        bytes_moved=csx_bytes(a.nnz, m) + dense_bytes((k, n)) + 2.0 * dense_bytes((m, n)),
+        bytes_moved=csx_bytes(a.nnz, p)
+        + dense_bytes((inner, n))
+        + 2.0 * dense_bytes((rows_out, n)),
         launches=1,
         char_dim=float(n),
         sparse=True,
@@ -287,10 +303,37 @@ def _blocked_forward_substitution(
             x_stack[:, i1:] -= np.matmul(l_stack[:, i1:, i0:i1], x_stack[:, i0:i1])
 
 
+def _blocked_backward_substitution(
+    l_stack: np.ndarray, x_stack: np.ndarray, block: int
+) -> None:
+    """In-place ``X_g <- L_g^{-T} X_g`` over stacked lower factors.
+
+    The transpose sweep of :func:`_blocked_forward_substitution`: walk the
+    diagonal blocks bottom-up, solve the stacked ``(group, b, b)`` upper
+    block (``L^T``), then push the solved block into the rows above with a
+    broadcasted GEMM.
+    """
+    n = l_stack.shape[1]
+    starts = list(range(0, n, block))
+    for i0 in reversed(starts):
+        i1 = min(i0 + block, n)
+        x_stack[:, i0:i1] = np.linalg.solve(
+            l_stack[:, i0:i1, i0:i1].transpose(0, 2, 1), x_stack[:, i0:i1]
+        )
+        if i0 > 0:
+            x_stack[:, :i0] -= np.matmul(
+                l_stack[:, i0:i1, :i0].transpose(0, 2, 1), x_stack[:, i0:i1]
+            )
+
+
 def batched_trsm_dense(
-    l_stack: np.ndarray, x_stack: np.ndarray, block: int = BATCHED_TRSM_BLOCK
+    l_stack: np.ndarray,
+    x_stack: np.ndarray,
+    block: int = BATCHED_TRSM_BLOCK,
+    trans: bool = False,
 ) -> KernelCost:
-    """Batched in-place dense TRSM: ``x_g <- L_g^{-1} x_g`` for every member.
+    """Batched in-place dense TRSM: ``x_g <- L_g^{-1} x_g`` for every member
+    (``L_g^{-T} x_g`` with *trans* — the backward sweep of a solve pair).
 
     Same per-member FLOPs/traffic as :func:`trsm_dense`, one launch for the
     whole stack (``cublasDtrsmBatched``).
@@ -303,7 +346,10 @@ def batched_trsm_dense(
         "RHS stack must match the factor stack",
     )
     m = x_stack.shape[2]
-    _blocked_forward_substitution(l_stack, x_stack, block)
+    if trans:
+        _blocked_backward_substitution(l_stack, x_stack, block)
+    else:
+        _blocked_forward_substitution(l_stack, x_stack, block)
     per = KernelCost(
         flops=trsm_dense_flops(n, m),
         bytes_moved=dense_bytes((n, n)) / 2.0 + 2.0 * dense_bytes((n, m)),
@@ -314,9 +360,13 @@ def batched_trsm_dense(
 
 
 def batched_trsm_sparse(
-    l: StackedCSC, x_stack: np.ndarray, block: int = BATCHED_TRSM_BLOCK
+    l: StackedCSC,
+    x_stack: np.ndarray,
+    block: int = BATCHED_TRSM_BLOCK,
+    trans: bool = False,
 ) -> KernelCost:
-    """Batched sparse-factor TRSM over a value stack sharing one pattern.
+    """Batched sparse-factor TRSM over a value stack sharing one pattern
+    (``L_g^{-T}`` with *trans*).
 
     Priced like ``group`` :func:`trsm_sparse` calls in one launch; executed
     as the blocked dense substitution on the densified stack (cost-model and
@@ -329,7 +379,10 @@ def batched_trsm_sparse(
     require(g == l.group, "RHS stack must match the factor stack")
     require(x_stack.shape[1] == n, "RHS row count mismatch")
     m = x_stack.shape[2]
-    _blocked_forward_substitution(l.toarray(), x_stack, block)
+    if trans:
+        _blocked_backward_substitution(l.toarray(), x_stack, block)
+    else:
+        _blocked_forward_substitution(l.toarray(), x_stack, block)
     per = KernelCost(
         flops=trsm_sparse_flops(l.nnz, m),
         bytes_moved=csx_bytes(l.nnz, n) + 2.0 * dense_bytes((n, m)),
@@ -401,15 +454,28 @@ def batched_spmm(
     c_stack: np.ndarray,
     alpha: float = 1.0,
     beta: float = 1.0,
+    trans_a: bool = False,
 ) -> KernelCost:
-    """Batched ``C_g <- beta C_g + alpha A_g B_g`` with one shared sparsity."""
-    m, k = a.shape
+    """Batched ``C_g <- beta C_g + alpha op(A_g) B_g`` with one shared
+    sparsity (``A_g^T B_g`` with *trans_a*, cuSPARSE op-mode style).
+
+    The per-member cost is exactly :func:`spmm` of the same stored matrix —
+    the transpose streams the identical pattern — so the batched/sequential
+    FLOP and traffic parity the solve tests assert holds by construction.
+    """
+    p, q = a.shape
+    inner, rows_out = (p, q) if trans_a else (q, p)
     g = _check_batched(b_stack, "b_stack")
     require(g == a.group, "stacks must agree on the group size")
-    require(b_stack.shape[1] == k, "inner dimension mismatch")
+    require(b_stack.shape[1] == inner, "inner dimension mismatch")
     n = b_stack.shape[2]
-    require(c_stack.shape == (g, m, n), f"output stack must be (group, {m}, {n})")
-    update = np.matmul(a.toarray(), b_stack)
+    require(
+        c_stack.shape == (g, rows_out, n),
+        f"output stack must be (group, {rows_out}, {n})",
+    )
+    dense = a.toarray()
+    op = dense.transpose(0, 2, 1) if trans_a else dense
+    update = np.matmul(op, b_stack)
     if beta == 0.0:
         c_stack[...] = alpha * update
     else:
@@ -417,9 +483,67 @@ def batched_spmm(
         c_stack += alpha * update
     per = KernelCost(
         flops=spmm_flops(a.nnz, n),
-        bytes_moved=csx_bytes(a.nnz, m) + dense_bytes((k, n)) + 2.0 * dense_bytes((m, n)),
+        bytes_moved=csx_bytes(a.nnz, p)
+        + dense_bytes((inner, n))
+        + 2.0 * dense_bytes((rows_out, n)),
         launches=1,
         char_dim=float(n),
+        sparse=True,
+    )
+    return per.batched(g)
+
+
+def batched_panel_gather(
+    x: np.ndarray, rows_stack: np.ndarray
+) -> tuple[np.ndarray, KernelCost]:
+    """Gather per-member row panels out of one shared dense panel.
+
+    ``out[g] = x[rows_stack[g]]`` for every member in one launch — the
+    grouped dual-operator's restriction of the global multiplier panel to
+    each member's local multipliers.  Per-member cost equals
+    :func:`gather_rows` of the same rows.
+    """
+    require(rows_stack.ndim == 2, "rows_stack must be (group, rows)")
+    g = int(rows_stack.shape[0])
+    require(g >= 1, "rows_stack must stack at least one member")
+    out = np.ascontiguousarray(x[rows_stack])
+    per_size = float(out.size / g)
+    per = KernelCost(
+        flops=0.0,
+        bytes_moved=2.0 * per_size * FLOAT64_BYTES,
+        launches=1,
+        char_dim=float(max(out.shape[-1] if out.ndim > 2 else 1, 1)),
+        sparse=True,
+    )
+    return out, per.batched(g)
+
+
+def batched_panel_scatter_add(
+    target: np.ndarray,
+    rows_stack: np.ndarray,
+    values_stack: np.ndarray,
+    sign: float = 1.0,
+) -> KernelCost:
+    """``target[rows_stack[g]] += sign * values_stack[g]`` for every member.
+
+    The additive gather of per-member dual contributions into one global
+    panel: one launch, duplicate multiplier rows across members accumulate
+    (``np.add.at`` semantics — the atomic-add scatter a device would run).
+    Per-member cost equals :func:`scatter_add_rows` of the same rows.
+    """
+    g = _check_batched(values_stack, "values_stack")
+    require(rows_stack.shape == values_stack.shape[:2], "rows/values mismatch")
+    flat_rows = rows_stack.reshape(-1)
+    flat_vals = values_stack.reshape(flat_rows.shape[0], -1)
+    if sign != 1.0:
+        flat_vals = sign * flat_vals
+    np.add.at(target, flat_rows, flat_vals.reshape((flat_rows.shape[0],) + target.shape[1:]))
+    per_size = float(values_stack.size / g)
+    per = KernelCost(
+        flops=per_size,
+        bytes_moved=3.0 * per_size * FLOAT64_BYTES,
+        launches=1,
+        char_dim=float(max(values_stack.shape[-1], 1)),
         sparse=True,
     )
     return per.batched(g)
@@ -519,6 +643,8 @@ __all__ = [
     "batched_syrk",
     "batched_gemm",
     "batched_spmm",
+    "batched_panel_gather",
+    "batched_panel_scatter_add",
     "batched_scatter_add_rows",
     "batched_extract_block",
     "batched_densify",

@@ -115,8 +115,19 @@ class Executor:
             kernel="gemm",
         )
 
-    def spmm(self, a: sp.spmatrix, b: np.ndarray, c: np.ndarray, alpha: float = 1.0, beta: float = 1.0) -> float:
-        return self.charge(kernels.spmm(a, b, c, alpha=alpha, beta=beta), kernel="spmm")
+    def spmm(
+        self,
+        a: sp.spmatrix,
+        b: np.ndarray,
+        c: np.ndarray,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        trans_a: bool = False,
+    ) -> float:
+        return self.charge(
+            kernels.spmm(a, b, c, alpha=alpha, beta=beta, trans_a=trans_a),
+            kernel="spmm",
+        )
 
     def gather_rows(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
         out, cost = kernels.gather_rows(x, rows)
@@ -151,11 +162,21 @@ class Executor:
 
     # -- batched kernel façade (whole fingerprint groups, one launch each) --
 
-    def batched_trsm_dense(self, l_stack: np.ndarray, x_stack: np.ndarray) -> float:
-        return self.charge(kernels.batched_trsm_dense(l_stack, x_stack), kernel="batched_trsm_dense")
+    def batched_trsm_dense(
+        self, l_stack: np.ndarray, x_stack: np.ndarray, trans: bool = False
+    ) -> float:
+        return self.charge(
+            kernels.batched_trsm_dense(l_stack, x_stack, trans=trans),
+            kernel="batched_trsm_dense",
+        )
 
-    def batched_trsm_sparse(self, l: StackedCSC, x_stack: np.ndarray) -> float:
-        return self.charge(kernels.batched_trsm_sparse(l, x_stack), kernel="batched_trsm_sparse")
+    def batched_trsm_sparse(
+        self, l: StackedCSC, x_stack: np.ndarray, trans: bool = False
+    ) -> float:
+        return self.charge(
+            kernels.batched_trsm_sparse(l, x_stack, trans=trans),
+            kernel="batched_trsm_sparse",
+        )
 
     def batched_syrk(
         self,
@@ -192,10 +213,30 @@ class Executor:
         c_stack: np.ndarray,
         alpha: float = 1.0,
         beta: float = 1.0,
+        trans_a: bool = False,
     ) -> float:
         return self.charge(
-            kernels.batched_spmm(a, b_stack, c_stack, alpha=alpha, beta=beta),
+            kernels.batched_spmm(
+                a, b_stack, c_stack, alpha=alpha, beta=beta, trans_a=trans_a
+            ),
             kernel="batched_spmm",
+        )
+
+    def batched_panel_gather(self, x: np.ndarray, rows_stack: np.ndarray) -> np.ndarray:
+        out, cost = kernels.batched_panel_gather(x, rows_stack)
+        self.charge(cost, kernel="batched_panel_gather")
+        return out
+
+    def batched_panel_scatter_add(
+        self,
+        target: np.ndarray,
+        rows_stack: np.ndarray,
+        values_stack: np.ndarray,
+        sign: float = 1.0,
+    ) -> float:
+        return self.charge(
+            kernels.batched_panel_scatter_add(target, rows_stack, values_stack, sign=sign),
+            kernel="batched_panel_scatter_add",
         )
 
     def batched_scatter_add_rows(

@@ -1,4 +1,5 @@
-"""Tests for the amortization-point analysis (Fig. 1 / Fig. 10 logic)."""
+"""Tests for the amortization-point analysis (Fig. 1 / Fig. 10 logic),
+including the multi-RHS (``n_rhs``) panel scaling of PR 9."""
 
 from __future__ import annotations
 
@@ -59,6 +60,71 @@ def test_best_approach_and_crossover():
     assert names == sorted(names, key=lambda n: n == "expl")
     with pytest.raises(ValueError):
         best_approach([], 1)
+
+
+def test_total_time_scales_with_n_rhs():
+    """A panel of k load cases pays the per-iteration apply k times but the
+    preprocessing only once."""
+    t = ApproachTiming("x", preprocessing=2.0, apply_per_iteration=0.5)
+    assert t.total(10, n_rhs=1) == t.total(10)  # k=1: the classic formula
+    assert t.total(10, n_rhs=4) == 2.0 + 10 * 4 * 0.5
+    with pytest.raises(ValueError):
+        t.total(10, n_rhs=0)
+
+
+def test_amortization_point_arrives_n_rhs_times_sooner():
+    impl = ApproachTiming("impl", preprocessing=1.0, apply_per_iteration=1.0)
+    expl = ApproachTiming("expl", preprocessing=11.0, apply_per_iteration=0.5)
+    assert amortization_point(impl, expl) == 20
+    assert amortization_point(impl, expl, n_rhs=1) == 20  # k=1 unchanged
+    assert amortization_point(impl, expl, n_rhs=4) == 5
+    assert amortization_point(impl, expl, n_rhs=40) == 1
+    with pytest.raises(ValueError):
+        amortization_point(impl, expl, n_rhs=0)
+
+
+def test_feti_timings_apply_total_is_rhs_aware():
+    """Regression for the latent one-RHS assumption: the per-iteration
+    aggregate scales with the panel width, and with ``n_rhs=1`` (every
+    Fig. 10 single-RHS run) it is bit-for-bit the old plain sum."""
+    from repro.feti import FetiTimings
+
+    t = FetiTimings(apply_per_subdomain=[0.25, 0.5, 0.125])
+    assert t.n_rhs == 1
+    assert t.apply_total_per_iteration == sum(t.apply_per_subdomain)
+    t.n_rhs = 4
+    assert t.apply_total_per_iteration == 4 * sum(t.apply_per_subdomain)
+    assert t.apply_mean_per_subdomain == t.apply_total_per_iteration / 3
+
+
+def test_fig10_amortization_pinned_for_single_rhs():
+    """End to end: a k=1 solve leaves the Fig. 10 amortization inputs
+    exactly where the pre-``n_rhs`` code put them, and a block solve with
+    the same decomposition only scales the apply aggregate."""
+    from repro.dd import decompose
+    from repro.fem import heat_transfer_2d
+    from repro.feti import FetiSolver
+
+    dec = decompose(heat_transfer_2d(12, dirichlet=("left",)), grid=(3, 3))
+    solver = FetiSolver(dec, approach="impl_mkl")
+    solver.preprocess()
+    solver.solve()
+    t = solver.timings
+    assert t.n_rhs == 1
+    assert t.apply_total_per_iteration == pytest.approx(
+        sum(t.apply_per_subdomain), rel=0, abs=0
+    )
+
+    block = FetiSolver(dec, approach="impl_mkl")
+    block.preprocess()
+    per_sub_before = list(block.timings.apply_per_subdomain)
+    block.solve_block(n_rhs=3, block=True, grouped=False, seed=0)
+    tb = block.timings
+    assert tb.n_rhs == 3
+    assert tb.apply_per_subdomain == per_sub_before  # per-RHS entries untouched
+    assert tb.apply_total_per_iteration == pytest.approx(
+        3 * sum(per_sub_before), rel=1e-12
+    )
 
 
 @settings(max_examples=50, deadline=None)

@@ -1,0 +1,323 @@
+"""Property tests for the block (multi-RHS) PCPG solver.
+
+Block PCPG is recurrence-heavy code, so the correctness argument is a set
+of invariants rather than hand-picked examples:
+
+* with one RHS column the block recurrence collapses to the scalar
+  :func:`repro.feti.pcpg.pcpg` **iterate for iterate** (same iteration
+  count, same residual history, same multipliers),
+* the block solution matches ``k`` independent sequential scalar solves at
+  tight tolerance — on synthetic dual systems and end-to-end through
+  :meth:`FetiSolver.solve_block` across the mesh zoo, both graph
+  partitioners and every preconditioner,
+* the coarse projector is idempotent and annihilates ``G^T`` on every
+  panel the iteration touches, and
+* deflated columns stay converged: a column's residual history is frozen
+  at its converged norm once it leaves the active set, and the active
+  history up to that point never ends above the tolerance it met.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.feti.block_pcpg import BlockPcpgResult, block_pcpg
+from repro.feti.pcpg import pcpg
+from repro.feti.projector import CoarseProblem
+
+RTOL, ATOL = 1e-9, 1e-10
+
+
+# ---------------------------------------------------------------------------
+# synthetic dual systems: dense SPD F, random kernel matrix G
+# ---------------------------------------------------------------------------
+
+
+def _dual_system(m: int, kdim: int, seed: int):
+    """A dense SPD dual operator and a full-rank kernel matrix."""
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((m, m))
+    f = q @ q.T + m * np.eye(m)
+    g = rng.standard_normal((m, kdim)) if kdim else np.zeros((m, 0))
+    return f, g, rng
+
+
+def _solve_columns(f, d, g, e, **kwargs):
+    """Column-by-column scalar PCPG — the sequential comparator."""
+    results = [
+        pcpg(lambda v: f @ v, d[:, j], g, e[:, j], **kwargs)
+        for j in range(d.shape[1])
+    ]
+    lam = np.stack([r.lam for r in results], axis=1)
+    return lam, results
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(6, 24),
+    kdim=st.integers(0, 3),
+    seed=st.integers(0, 10_000),
+    precond=st.booleans(),
+)
+def test_property_block_k1_matches_scalar_iterate_for_iterate(m, kdim, seed, precond):
+    f, g, rng = _dual_system(m, kdim, seed)
+    d = rng.standard_normal((m, 1))
+    e = rng.standard_normal((kdim, 1))
+    mdiag = 1.0 + rng.random(m)
+    pc = (lambda w: (w.T * mdiag).T) if precond else None
+
+    scalar = pcpg(lambda v: f @ v, d[:, 0], g, e[:, 0], apply_precond=pc)
+    block = block_pcpg(lambda x: f @ x, d, g, e, apply_precond=pc)
+
+    assert block.iterations == scalar.iterations
+    assert block.converged == scalar.converged
+    assert len(block.residuals) == len(scalar.residuals)
+    # identical history up to rounding noise relative to the start residual
+    # (the final entries sit at machine noise, where summation order differs)
+    floor = 1e-11 * scalar.residuals[0]
+    for bres, sres in zip(block.residuals, scalar.residuals):
+        assert bres.shape == (1,)
+        assert bres[0] == pytest.approx(sres, rel=1e-9, abs=floor)
+    assert np.allclose(block.lam[:, 0], scalar.lam, rtol=1e-12, atol=1e-13)
+    assert np.allclose(block.alpha[:, 0], scalar.alpha, rtol=1e-10, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(8, 24),
+    k=st.integers(2, 4),
+    kdim=st.integers(0, 3),
+    seed=st.integers(0, 10_000),
+    precond=st.booleans(),
+)
+def test_property_block_matches_sequential_solves(m, k, kdim, seed, precond):
+    f, g, rng = _dual_system(m, kdim, seed)
+    d = rng.standard_normal((m, k))
+    e = rng.standard_normal((kdim, k))
+    mdiag = 1.0 + rng.random(m)
+    pc = (lambda w: (w.T * mdiag).T) if precond else None
+
+    block = block_pcpg(lambda x: f @ x, d, g, e, apply_precond=pc)
+    lam_seq, results = _solve_columns(f, d, g, e, apply_precond=pc)
+
+    assert block.converged and all(r.converged for r in results)
+    scale = max(1.0, float(np.abs(lam_seq).max()))
+    assert np.allclose(block.lam, lam_seq, rtol=RTOL, atol=ATOL * scale)
+    # Block CG shares Krylov information across columns: never slower than
+    # the worst sequential column by more than one iteration.
+    assert block.iterations <= max(r.iterations for r in results) + 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=st.integers(8, 20), kdim=st.integers(0, 3), seed=st.integers(0, 10_000))
+def test_property_projector_invariants_on_every_iterate(m, kdim, seed):
+    """P is idempotent and ``G^T (P w) ~= 0`` for every panel the iteration
+    hands to the preconditioner (always a projected residual panel)."""
+    f, g, rng = _dual_system(m, kdim, seed)
+    d = rng.standard_normal((m, 3))
+    e = rng.standard_normal((kdim, 3))
+    coarse = CoarseProblem(g)
+    seen = {"panels": 0}
+
+    def checking_precond(w):
+        seen["panels"] += 1
+        scale = max(1.0, float(np.abs(w).max()))
+        assert np.allclose(coarse.project(w), w, rtol=1e-10, atol=1e-12 * scale)
+        if kdim:
+            assert np.abs(g.T @ w).max() <= 1e-10 * scale * np.abs(g).max()
+        return w
+
+    res = block_pcpg(lambda x: f @ x, d, g, e, apply_precond=checking_precond)
+    assert res.converged and seen["panels"] >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(m=st.integers(8, 20), kdim=st.integers(0, 2), seed=st.integers(0, 10_000))
+def test_property_dependent_columns_deflate_and_match(m, kdim, seed):
+    """Linearly dependent RHS columns (duplicates up to scale) drive the
+    small block systems singular; the pseudo-inverse path still converges
+    to the per-column answers."""
+    f, g, rng = _dual_system(m, kdim, seed)
+    d = rng.standard_normal((m, 3))
+    d[:, 1] = 2.0 * d[:, 0]  # dependent from iteration one
+    e = rng.standard_normal((kdim, 3))
+    e[:, 1] = 2.0 * e[:, 0]
+
+    block = block_pcpg(lambda x: f @ x, d, g, e)
+    lam_seq, results = _solve_columns(f, d, g, e)
+    assert block.converged
+    scale = max(1.0, float(np.abs(lam_seq).max()))
+    assert np.allclose(block.lam, lam_seq, rtol=RTOL, atol=ATOL * scale)
+
+
+def test_staged_deflation_freezes_converged_columns():
+    """An easy column (RHS spanned by two eigenvectors) deflates many
+    iterations before a generic column; its residual history is frozen at
+    the converged value from that point on."""
+    rng = np.random.default_rng(7)
+    m = 40
+    q = rng.standard_normal((m, m))
+    f = q @ q.T + m * np.eye(m)
+    vals, vecs = np.linalg.eigh(f)
+    g = np.zeros((m, 0))
+    easy = f @ (vecs[:, 0] + vecs[:, -1])  # Krylov degree 2
+    hard = rng.standard_normal(m)
+    d = np.stack([easy, hard], axis=1)
+    e = np.zeros((0, 2))
+
+    res = block_pcpg(lambda x: f @ x, d, g, e)
+    assert res.converged
+    assert res.deflated_at[0] >= 0 and res.deflated_at[1] >= 0
+    assert res.deflated_at[0] < res.deflated_at[1]
+    hist = np.array(res.residuals)
+    j, at = 0, int(res.deflated_at[0])
+    # frozen after deflation: the recorded norm never changes again
+    assert np.all(hist[at:, j] == hist[at, j])
+    # and it is genuinely converged relative to its own start
+    assert hist[at, j] <= 1e-10 * hist[0, j]
+    # column_residuals exposes the same frozen history
+    assert res.column_residuals(j) == [float(v) for v in hist[:, j]]
+
+
+def test_zero_residual_panel_converges_at_start():
+    f, g, _ = _dual_system(10, 0, seed=3)
+    d = np.zeros((10, 2))
+    e = np.zeros((0, 2))
+    res = block_pcpg(lambda x: f @ x, d, g, e)
+    assert res.iterations == 0 and res.converged
+    assert np.array_equal(res.deflated_at, np.zeros(2, dtype=int))
+    assert np.all(res.lam == 0.0)
+
+
+def test_block_pcpg_input_validation():
+    f, g, rng = _dual_system(8, 2, seed=1)
+    d = rng.standard_normal((8, 2))
+    e = rng.standard_normal((2, 2))
+    with pytest.raises(ValueError, match="panel"):
+        block_pcpg(lambda x: f @ x, d[:, 0], g, e)
+    with pytest.raises(ValueError, match="E must be a panel"):
+        block_pcpg(lambda x: f @ x, d, g, e[:, :1])
+    with pytest.raises(ValueError, match="tol"):
+        block_pcpg(lambda x: f @ x, d, g, e, tol=0.0)
+    with pytest.raises(ValueError, match="max_iter"):
+        block_pcpg(lambda x: f @ x, d, g, e, max_iter=0)
+
+
+def test_max_iter_cap_reports_not_converged():
+    f, g, rng = _dual_system(16, 0, seed=5)
+    d = rng.standard_normal((16, 2))
+    res = block_pcpg(lambda x: f @ x, d, g, np.zeros((0, 2)), max_iter=2)
+    assert not res.converged and res.iterations == 2
+    assert np.all(res.deflated_at == -1)
+
+
+def test_result_helpers():
+    res = BlockPcpgResult(
+        lam=np.zeros((4, 2)),
+        alpha=np.zeros((0, 2)),
+        iterations=0,
+        converged=True,
+        residuals=[np.array([1.0, 2.0]), np.array([0.5, 1.0])],
+        deflated_at=np.array([1, 1]),
+    )
+    assert res.n_rhs == 2
+    assert res.column_residuals(1) == [2.0, 1.0]
+    assert np.array_equal(res.final_residuals, np.array([0.5, 1.0]))
+
+
+# ---------------------------------------------------------------------------
+# end to end: mesh zoo x partitioner x preconditioner
+# ---------------------------------------------------------------------------
+
+
+_WORKLOADS = {}
+
+
+def _workload(mesh: str, partitioner: str):
+    """One decomposed well-posed workload per (mesh, partitioner)."""
+    key = (mesh, partitioner)
+    if key not in _WORKLOADS:
+        from repro.dd import decompose
+        from repro.fem import heat_problem, heat_transfer_2d
+        from repro.part import make_mesh
+
+        if mesh == "square":
+            problem = heat_transfer_2d(12, dirichlet=("left",))
+            _WORKLOADS[key] = decompose(problem, grid=(3, 3))
+        else:
+            problem = heat_problem(make_mesh(mesh, 12, seed=0), dirichlet=("boundary",))
+            _WORKLOADS[key] = decompose(
+                problem, n_subdomains=6, partitioner=partitioner, seed=0
+            )
+    return _WORKLOADS[key]
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    mesh=st.sampled_from(("square", "jittered", "lshape", "strip")),
+    partitioner=st.sampled_from(("rcb", "spectral")),
+    preconditioner=st.sampled_from(("none", "lumped", "dirichlet")),
+    n_rhs=st.sampled_from((2, 3)),
+)
+def test_property_solve_block_matches_sequential_end_to_end(
+    mesh, partitioner, preconditioner, n_rhs
+):
+    """Block and sequential panel solves agree on multipliers and primal
+    solutions across the mesh zoo, both partitioners and every
+    preconditioner."""
+    from repro.feti.solver import FetiSolver
+
+    dec = _workload(mesh, partitioner)
+    block = FetiSolver(
+        dec, approach="impl_mkl", preconditioner=preconditioner
+    ).solve_block(n_rhs=n_rhs, block=True, grouped=True, seed=0)
+    seq = FetiSolver(
+        dec, approach="impl_mkl", preconditioner=preconditioner
+    ).solve_block(n_rhs=n_rhs, block=False, grouped=False, seed=0)
+
+    assert block.converged and seq.converged
+    scale = max(1.0, float(np.abs(seq.u).max()))
+    assert np.allclose(block.u, seq.u, rtol=RTOL, atol=ATOL * scale)
+    lam_seq = np.stack([r.lam for r in seq.infos], axis=1)
+    lscale = max(1.0, float(np.abs(lam_seq).max()))
+    assert np.allclose(block.infos[0].lam, lam_seq, rtol=RTOL, atol=ATOL * lscale)
+    # shared Krylov information: block never meaningfully slower than the
+    # worst sequential column
+    assert block.iterations <= max(r.iterations for r in seq.infos) + 1
+
+
+def test_solve_block_k1_matches_scalar_solver_path():
+    """A one-column panel through the block path reproduces the classic
+    single-RHS solve (the panel's column 0 is the problem's own load)."""
+    from repro.feti.solver import FetiSolver
+
+    dec = _workload("square", "rcb")
+    scalar = FetiSolver(dec, approach="impl_mkl", preconditioner="lumped").solve()
+    block = FetiSolver(
+        dec, approach="impl_mkl", preconditioner="lumped"
+    ).solve_block(n_rhs=1, block=True, grouped=False, seed=0)
+    assert block.converged
+    assert block.iterations == scalar.info.iterations
+    scale = max(1.0, float(np.abs(scalar.u).max()))
+    assert np.allclose(block.u[:, 0], scalar.u, rtol=RTOL, atol=ATOL * scale)
+
+
+def test_solve_block_records_stats_and_timings():
+    from repro.feti.solver import FetiSolver
+
+    dec = _workload("square", "rcb")
+    solver = FetiSolver(dec, approach="impl_mkl", preconditioner="lumped")
+    sol = solver.solve_block(n_rhs=3, block=True, grouped=True, seed=0)
+    st_ = sol.stats
+    assert st_.n_rhs == 3 and sol.n_rhs == 3
+    assert st_.n_subdomains == dec.n_subdomains
+    assert 1 <= st_.n_groups <= st_.n_subdomains
+    assert st_.launches_per_iteration == 6 * st_.n_groups
+    assert st_.launches_sequential_per_iteration == 6 * st_.n_subdomains
+    assert st_.launch_reduction >= 1.0
+    assert st_.iterations == sol.iterations
+    assert solver.timings.n_rhs == 3
+    assert "RHS column(s)" in st_.summary()

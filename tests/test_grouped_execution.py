@@ -393,6 +393,119 @@ def test_engine_partial_group_failure_only_falls_back_failed_group(floating_4x4)
         assert np.allclose(b.f, a.f, rtol=RTOL, atol=ATOL * scale)
 
 
+def _feti_operator(dirichlet=(), cells=16, grid=(4, 4), approach="impl_mkl"):
+    from repro.dd import decompose
+    from repro.fem import heat_transfer_2d
+    from repro.feti.solver import FetiSolver
+
+    problem = heat_transfer_2d(cells, dirichlet=dirichlet)
+    solver = FetiSolver(decompose(problem, grid=grid), approach=approach)
+    solver.preprocess()
+    return solver
+
+
+@pytest.mark.parametrize("signature", ["exact", "near"])
+def test_grouped_dual_operator_matches_per_subdomain(signature):
+    """Solve-side contract: the grouped dual-operator panel application is
+    allclose to the per-subdomain comparator, charges identical KernelCost
+    FLOPs and bytes, and launches once per group per kernel stage instead
+    of once per subdomain — including the padded union tier that near
+    signatures produce."""
+    from repro.feti.operator import GroupedDualOperator
+    from repro.gpu import A100_40GB
+    from repro.gpu.runtime import Executor as GpuExecutor
+
+    solver = _feti_operator()
+    op = solver.operator
+    ex_gr, ex_pm = GpuExecutor(A100_40GB), GpuExecutor(A100_40GB)
+    gop = GroupedDualOperator(op, executor=ex_gr, signature=signature)
+    assert 1 <= gop.n_groups < op.decomposition.n_subdomains
+    if signature == "near":
+        assert any(g.tier == "union" for g in gop.groups)
+
+    rng = np.random.default_rng(0)
+    lam = rng.standard_normal((op.n_multipliers, 3))
+    got = gop.apply_panel(lam)
+    ref = gop.apply_panel_sequential(lam, ex_pm)
+    exact = np.stack([op.apply(lam[:, j]) for j in range(3)], axis=1)
+    scale = max(1.0, float(np.abs(exact).max()))
+    assert np.allclose(got, exact, rtol=RTOL, atol=ATOL * scale)
+    assert np.allclose(ref, exact, rtol=RTOL, atol=ATOL * scale)
+
+    gr, pm = ex_gr.ledger.total, ex_pm.ledger.total
+    if signature == "exact":
+        # exact tier: identical per-member kernels, so identical pricing
+        assert gr.flops == pytest.approx(pm.flops, rel=1e-12)
+        assert gr.bytes_moved == pytest.approx(pm.bytes_moved, rel=1e-12)
+    else:
+        # union tier pads: never cheaper than the exact per-member work
+        assert gr.flops >= pm.flops * (1.0 - 1e-12)
+        assert gr.bytes_moved >= pm.bytes_moved * (1.0 - 1e-12)
+    assert gr.launches == gop.launches_per_application
+    assert pm.launches == gop.sequential_launches_per_application
+    assert gop.launches_per_application == 6 * gop.n_groups
+    assert (
+        gop.sequential_launches_per_application
+        == 6 * op.decomposition.n_subdomains
+    )
+
+
+def test_grouped_dual_operator_vector_apply_and_recover():
+    from repro.feti.operator import GroupedDualOperator
+
+    solver = _feti_operator(dirichlet=("left",), cells=12, grid=(3, 3))
+    op = solver.operator
+    gop = GroupedDualOperator(op)
+    rng = np.random.default_rng(1)
+    lam = rng.standard_normal(op.n_multipliers)
+    assert np.allclose(gop.apply(lam), op.apply(lam), rtol=RTOL, atol=ATOL)
+    assert gop.n_multipliers == op.n_multipliers
+    # recovery delegates to the base operator
+    alpha = np.zeros(op.kernel_dim)
+    a = gop.recover_solution(lam, alpha)
+    b = op.recover_solution(lam, alpha)
+    for ua, ub in zip(a, b):
+        assert np.array_equal(ua, ub)
+
+
+def test_stacked_preconditioner_matches_lumped():
+    """The stacked (grouped) lumped preconditioner is allclose to the
+    per-subdomain LumpedPreconditioner on vectors and panels, and launches
+    once per pattern group per kernel stage."""
+    from repro.feti.preconditioner import LumpedPreconditioner, StackedPreconditioner
+
+    solver = _feti_operator()
+    dec = solver.decomposition
+    lump = LumpedPreconditioner(dec)
+    stacked = StackedPreconditioner(dec)
+    assert 1 <= stacked.n_groups < dec.n_subdomains
+    assert stacked.launches_per_application == 5 * stacked.n_groups
+    rng = np.random.default_rng(2)
+    w = rng.standard_normal((dec.n_multipliers, 3))
+    ref = np.stack([lump.apply(w[:, j]) for j in range(3)], axis=1)
+    scale = max(1.0, float(np.abs(ref).max()))
+    assert np.allclose(stacked.apply(w), ref, rtol=RTOL, atol=ATOL * scale)
+    assert np.allclose(
+        stacked.apply(w[:, 0]), ref[:, 0], rtol=RTOL, atol=ATOL * scale
+    )
+
+
+def test_grouped_dual_operator_union_fill_cap_falls_back_exact():
+    """A sub-1 fill cap disables padding: every near class executes as
+    exact-pattern subgroups and the results stay correct."""
+    from repro.feti.operator import GroupedDualOperator
+
+    solver = _feti_operator()
+    op = solver.operator
+    capped = GroupedDualOperator(op, signature="near", union_fill_cap=0.5)
+    assert all(g.tier == "exact" for g in capped.groups)
+    rng = np.random.default_rng(3)
+    lam = rng.standard_normal((op.n_multipliers, 2))
+    exact = np.stack([op.apply(lam[:, j]) for j in range(2)], axis=1)
+    scale = max(1.0, float(np.abs(exact).max()))
+    assert np.allclose(capped.apply_panel(lam), exact, rtol=RTOL, atol=ATOL * scale)
+
+
 def test_engine_union_failure_falls_back_per_member():
     from repro.dd import decompose
     from repro.fem import heat_problem

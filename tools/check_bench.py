@@ -95,6 +95,21 @@ GATES: dict[str, Gate] = {
     "n_union_members": Gate(HIGHER),
     "n_union_skipped": Gate(LOWER),
     "union_fill_ratio": Gate(LOWER, 0.01),
+    # block multi-RHS solve path (benchmarks/bench_block_solve.py): launch
+    # accounting is deterministic, iteration counts get a small band (CG
+    # rounding can move them by one), parity/equality flags must hold
+    # exactly; the raw solve walls stay informational
+    "solve_n_groups": Gate(LOWER),
+    "solve_launches_per_iteration": Gate(LOWER),
+    "solve_launches_sequential": Gate(EQUAL),
+    "solve_launch_reduction": Gate(HIGHER, 0.01),
+    "solve_block_iterations": Gate(EQUAL, 0.05),
+    "solve_scalar_iterations": Gate(EQUAL, 0.05),
+    "solve_iteration_gap_max": Gate(LOWER),
+    "solve_iteration_parity": Gate(EQUAL),
+    "solve_solution_matches": Gate(EQUAL),
+    "solve_n_deflated": Gate(EQUAL),
+    "solve_lowrank_iteration_gap": Gate(LOWER),
     # host wall-clock speedups: gated, but with a wide CI-noise band
     "grouped_speedup": Gate(HIGHER, 0.50),
     "unstructured_grouped_speedup": Gate(HIGHER, 0.50),

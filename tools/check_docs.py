@@ -10,8 +10,8 @@ Two checks, no third-party dependencies:
 2. **Flags** — every ``--flag`` token mentioned in the flag-checked docs
    (``README.md``, ``docs/batching.md``, ``docs/service.md``, ...) must
    appear in the help output of one of the checked subcommands
-   (``repro batch``, ``repro work submit/run/status``, ``repro store
-   verify``), so the docs cannot drift from the CLI.
+   (``repro batch``, ``repro solve``, ``repro work submit/run/status``,
+   ``repro store verify``), so the docs cannot drift from the CLI.
 
 Run from the repository root (CI runs it in the ``docs`` job)::
 
@@ -44,6 +44,7 @@ DOC_FILES = (
     "docs/unstructured.md",
     "docs/observability.md",
     "docs/service.md",
+    "docs/solving.md",
     "docs/ci.md",
 )
 
@@ -54,6 +55,7 @@ FLAG_DOC_FILES = (
     "docs/unstructured.md",
     "docs/observability.md",
     "docs/service.md",
+    "docs/solving.md",
     "docs/ci.md",
 )
 
@@ -61,6 +63,7 @@ FLAG_DOC_FILES = (
 #: against (a flag may live in any of them).
 HELP_COMMANDS = (
     ("batch", "--help"),
+    ("solve", "--help"),
     ("work", "submit", "--help"),
     ("work", "run", "--help"),
     ("work", "status", "--help"),
@@ -72,8 +75,6 @@ HELP_COMMANDS = (
 FLAG_ALLOWLIST = {
     "--paper-scale",
     "--out",
-    "--approach",
-    "--expected-iterations",
     # flags of the `repro trace` subcommand, not `repro batch`
     "--top",
     "--depth",
