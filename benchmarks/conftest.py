@@ -45,3 +45,77 @@ def run_and_report(benchmark, name: str, **kwargs):
     print(result.render())
     print(f"[saved to {path}]")
     return result
+
+
+def _bench_rows(session) -> list[dict]:
+    """Flatten pytest-benchmark's collected fixtures into stable JSON rows."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return []
+    rows = []
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        row = {
+            "name": bench.name,
+            "fullname": bench.fullname,
+            "group": bench.group,
+            "params": bench.params,
+            "extra_info": dict(bench.extra_info),
+        }
+        if stats is not None:
+            row["stats"] = {
+                field: getattr(stats, field, None)
+                for field in ("min", "max", "mean", "stddev", "median", "rounds")
+            }
+        rows.append(row)
+    return rows
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Consolidate the session's benchmarks into one perf-trajectory
+    artifact, ``$REPRO_BENCH_DIR/BENCH_<run_id>.json``.
+
+    One file per CI run (run id from ``$REPRO_RUN_ID``) holding every
+    benchmark's timing stats and extra_info — the cross-run trajectory CI
+    uploads so regressions are diffable without stitching the per-suite
+    ``--benchmark-json`` files.  No-op unless ``REPRO_BENCH_DIR`` is set.
+    """
+    bench_dir = os.environ.get("REPRO_BENCH_DIR", "")
+    if not bench_dir:
+        return
+    rows = _bench_rows(session)
+    if not rows:
+        return
+    run_id = os.environ.get("REPRO_RUN_ID", "local")
+    payload = {
+        "run_id": run_id,
+        "paper_scale": PAPER_SCALE,
+        "exit_status": int(exitstatus),
+        "n_benchmarks": len(rows),
+        "benchmarks": sorted(rows, key=lambda r: r["fullname"]),
+    }
+    os.makedirs(bench_dir, exist_ok=True)
+    path = os.path.join(bench_dir, f"BENCH_{run_id}.json")
+    from repro.util.atomic import atomic_write_json
+
+    # Merge with an existing consolidated file so the CI job's several
+    # pytest invocations (one per bench suite) accumulate into one artifact.
+    if os.path.exists(path):
+        import json
+
+        try:
+            with open(path) as fh:
+                previous = json.load(fh)
+        except (OSError, ValueError):
+            previous = {}
+        seen = {r["fullname"] for r in payload["benchmarks"]}
+        old = [
+            r for r in previous.get("benchmarks", []) if r["fullname"] not in seen
+        ]
+        payload["benchmarks"] = sorted(
+            payload["benchmarks"] + old, key=lambda r: r["fullname"]
+        )
+        payload["n_benchmarks"] = len(payload["benchmarks"])
+    atomic_write_json(path, payload)
+    print(f"\n[consolidated bench artifact: {path} "
+          f"({payload['n_benchmarks']} benchmark(s))]")

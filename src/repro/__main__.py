@@ -33,8 +33,18 @@ Commands
     CSV by extension).  The knobs are documented in ``docs/batching.md``,
     ``docs/unstructured.md`` and ``docs/observability.md``.
 ``trace <file.json> [--top N] [--depth D]``
-    Render the phase breakdown of a saved trace: an inclusive-time tree
-    plus the top-N phases — the terminal view of ``batch --trace`` output.
+    Render the phase breakdown of a saved trace: an inclusive-time tree,
+    the top-N phases and histogram percentiles — the terminal view of
+    ``batch --trace`` output.  Reads leniently: metrics-only dumps and
+    partial traces from crashed workers render with warnings.
+``trace merge <w1.json> <w2.json> ... [--out FILE]``
+    Stitch per-worker trace snapshots into one multi-track fleet timeline
+    (one Perfetto process per worker, wall-clock aligned, cross-process
+    submit→job links as flow arrows); see ``docs/observability.md``.
+``obs report <w1.json> ... [--json]``
+    Aggregate per-worker metrics snapshots fleet-wide: per-worker job
+    throughput, summed store/queue/gpu/solver counters, merged histograms
+    with p50/p90/p99.
 ``work {submit,run,status} [--root DIR]``
     Assembly-as-a-service (``repro.store``; see ``docs/service.md``):
     ``submit`` enqueues assemble jobs into the service root's SQLite work
@@ -212,21 +222,84 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_trace_merge(args) -> int:
+    from repro.obs import load_worker_traces, merge_traces
+
+    files = load_worker_traces(args.files[1:])
+    merged = merge_traces(files)
+    for warning in merged.warnings:
+        print(f"[warn] {warning}", file=sys.stderr)
+    path = merged.save(args.out)
+    links = len([link for link in merged.links if link.parent_span_id])
+    print(f"merged {len(merged.workers)} worker trace(s) into {path}")
+    print(f"  workers: {', '.join(merged.workers)}")
+    print(f"  {len(merged.spans)} span(s), {links} cross-process link(s) "
+          f"resolved of {len(merged.links)} remote-parent reference(s)")
+    for worker, offset in sorted(merged.clock_offsets.items()):
+        print(f"  clock offset {worker}: {offset * 1e3:+.3f} ms")
+    return 0
+
+
 def _cmd_trace(args) -> int:
-    from repro.obs import load_chrome_trace, phase_tree, render_phase_tree, top_phases
+    from repro.obs import phase_tree, read_trace, render_phase_tree, top_phases
+    from repro.obs.metrics import SUMMARY_PERCENTILES, Histogram
     from repro.util import format_si
 
-    spans, metrics = load_chrome_trace(args.file)
-    print(render_phase_tree(phase_tree(spans), max_depth=args.depth))
-    print()
-    print(f"top {args.top} phases by inclusive time:")
-    for name, seconds, count in top_phases(spans, n=args.top):
-        print(f"  {name:32s} {format_si(seconds, 's'):>10s}  (x{count})")
+    if args.files[0] == "merge":
+        if len(args.files) < 2:
+            print("trace merge: no input trace files given", file=sys.stderr)
+            return 2
+        return _cmd_trace_merge(args)
+    if len(args.files) > 1:
+        print("trace: one FILE to render, or 'merge FILE...' to merge",
+              file=sys.stderr)
+        return 2
+    loaded = read_trace(args.files[0])
+    for warning in loaded.warnings:
+        print(f"[warn] {warning}", file=sys.stderr)
+    if loaded.spans:
+        print(render_phase_tree(phase_tree(loaded.spans), max_depth=args.depth))
+        print()
+        print(f"top {args.top} phases by inclusive time:")
+        for name, seconds, count in top_phases(loaded.spans, n=args.top):
+            print(f"  {name:32s} {format_si(seconds, 's'):>10s}  (x{count})")
+    else:
+        print("no spans recorded in this file")
+    metrics = loaded.metrics
     counters = metrics.get("counters", {}) if metrics else {}
     if counters:
         print()
         print(f"metrics: {len(counters)} counter(s) recorded "
               "(see otherData.metrics in the file)")
+    hists = metrics.get("histograms", {}) if metrics else {}
+    if hists:
+        print()
+        header = f"{'histogram':34s} {'n':>6s}"
+        header += "".join(f" {'p%g' % q:>10s}" for q in SUMMARY_PERCENTILES)
+        print(header)
+        for name, snap in sorted(hists.items()):
+            h = Histogram.from_dict(snap)
+            line = f"{name[:34]:34s} {h.n:6d}"
+            line += "".join(
+                f" {h.percentile(q):10.4g}" for q in SUMMARY_PERCENTILES
+            )
+            print(line)
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    import json
+
+    from repro.obs import fleet_report, fleet_report_json, load_worker_traces
+
+    files = load_worker_traces(args.files)
+    for f in files:
+        for warning in f.warnings:
+            print(f"[warn] {f.path}: {warning}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(fleet_report_json(files), indent=2, sort_keys=True))
+    else:
+        print(fleet_report(files))
     return 0
 
 
@@ -243,12 +316,21 @@ def _service_parts(root: str):
 
 def _cmd_work(args) -> int:
     import json
+    from contextlib import ExitStack
 
-    from repro.store import DEFAULT_ASSEMBLE_PAYLOAD, FaultInjector, InjectedCrash, run_worker
+    from repro.store import (
+        DEFAULT_ASSEMBLE_PAYLOAD,
+        FaultInjector,
+        InjectedCrash,
+        run_worker,
+        snapshot_worker_trace,
+    )
 
     store, queue_path, JobQueue = _service_parts(args.root)
 
     if args.work_command == "submit":
+        from repro.obs import tracing
+
         payload = dict(DEFAULT_ASSEMBLE_PAYLOAD)
         for key in ("cells", "grid", "mesh", "partitioner", "parts", "seed",
                     "device", "execution", "signature"):
@@ -258,16 +340,23 @@ def _cmd_work(args) -> int:
         if args.payload:
             payload.update(json.loads(args.payload))
         queue = JobQueue(queue_path)
-        ids = [
-            queue.submit("assemble", payload, max_attempts=args.max_attempts)
-            for _ in range(args.count)
-        ]
+        with ExitStack() as stack:
+            tracer = stack.enter_context(tracing()) if args.trace_dir else None
+            ids = [
+                queue.submit("assemble", payload, max_attempts=args.max_attempts)
+                for _ in range(args.count)
+            ]
+            if tracer is not None:
+                path = snapshot_worker_trace(tracer, args.trace_dir, "submit")
+                print(f"[submit trace written to {path}]")
         print(f"submitted {len(ids)} assemble job(s): "
               f"{ids[0]}..{ids[-1]}" if len(ids) > 1 else f"submitted job {ids[0]}")
         print(queue.summary())
         return 0
 
     if args.work_command == "run":
+        from repro.obs import tracing
+
         # One injector shared by all three layers, so a --faults plan can
         # name any FAULT_POINT (store.*, queue.*, worker.*).
         faults = FaultInjector(args.faults, seed=args.fault_seed)
@@ -278,23 +367,36 @@ def _cmd_work(args) -> int:
             backoff_cap=args.backoff_cap,
             faults=faults,
         )
-        try:
-            stats = run_worker(
-                queue,
-                store,
-                owner=args.worker_id,
-                lease_seconds=args.lease,
-                poll_seconds=args.poll,
-                max_jobs=args.max_jobs,
-                timeout=args.timeout,
-                faults=faults,
-            )
-        except InjectedCrash as crash:
-            # Simulated process death: report like a kill -9 would (nothing
-            # cleaned up, distinctive exit status for the drill harness).
-            print(f"worker {args.worker_id} crashed: {crash}", file=sys.stderr)
-            return 42
+        with ExitStack() as stack:
+            tracer = stack.enter_context(tracing()) if args.trace_dir else None
+            try:
+                stats = run_worker(
+                    queue,
+                    store,
+                    owner=args.worker_id,
+                    lease_seconds=args.lease,
+                    poll_seconds=args.poll,
+                    max_jobs=args.max_jobs,
+                    timeout=args.timeout,
+                    faults=faults,
+                    trace_dir=args.trace_dir,
+                )
+            except InjectedCrash as crash:
+                # Simulated process death: report like a kill -9 would
+                # (nothing cleaned up, distinctive exit status for the drill
+                # harness) — except the trace snapshot, which stands in for
+                # the per-job checkpoint a real crash would leave behind.
+                if tracer is not None:
+                    path = snapshot_worker_trace(
+                        tracer, args.trace_dir, args.worker_id
+                    )
+                    if path:
+                        print(f"[crash trace written to {path}]", file=sys.stderr)
+                print(f"worker {args.worker_id} crashed: {crash}", file=sys.stderr)
+                return 42
         print(stats.summary())
+        if stats.trace_path:
+            print(f"[worker trace written to {stats.trace_path}]")
         print(store.stats.summary())
         print(queue.summary())
         return 0
@@ -509,14 +611,48 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     p_trace = sub.add_parser(
-        "trace", help="render the phase breakdown of a saved trace file"
+        "trace",
+        help="render a saved trace file, or merge per-worker traces "
+        "('trace merge FILE... --out MERGED.json')",
     )
-    p_trace.add_argument("file", help="Chrome trace-event JSON written by --trace")
+    p_trace.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE",
+        help="one trace file to render, or 'merge' followed by the "
+        "per-worker trace files to stitch into one fleet timeline",
+    )
     p_trace.add_argument(
         "--top", type=int, default=3, help="how many top phases to list (default 3)"
     )
     p_trace.add_argument(
         "--depth", type=int, default=None, help="maximum phase-tree depth to print"
+    )
+    p_trace.add_argument(
+        "--out",
+        default="FLEET_TRACE.json",
+        metavar="FILE",
+        help="output path of 'trace merge' (default FLEET_TRACE.json)",
+    )
+
+    p_obs = sub.add_parser(
+        "obs", help="fleet-wide observability reports over worker snapshots"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    o_report = obs_sub.add_parser(
+        "report",
+        help="aggregate per-worker metrics snapshots into one fleet report",
+    )
+    o_report.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE",
+        help="per-worker trace or metrics JSON files (WORKER_*.json)",
+    )
+    o_report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable aggregation instead of the table",
     )
 
     p_work = sub.add_parser(
@@ -562,6 +698,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="JSON",
         help="raw payload overrides merged over the flags (JSON object)",
     )
+    w_submit.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="record the submission (trace-context minting) and write a "
+        "SUBMIT trace snapshot under DIR for the fleet merge",
+    )
 
     w_run = work_sub.add_parser("run", help="run a worker until the queue drains")
     w_run.add_argument("--root", default="service", help="service root directory")
@@ -602,6 +745,14 @@ def main(argv: list[str] | None = None) -> int:
     w_run.add_argument(
         "--backoff-cap", type=float, default=60.0, help="backoff ceiling in seconds"
     )
+    w_run.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="enable tracing and checkpoint this worker's trace + metrics "
+        "snapshot (WORKER_<id>.json) under DIR after every job; merge the "
+        "fleet's snapshots with 'repro trace merge'",
+    )
 
     w_status = work_sub.add_parser("status", help="report the job table")
     w_status.add_argument("--root", default="service", help="service root directory")
@@ -633,6 +784,7 @@ def main(argv: list[str] | None = None) -> int:
         "solve": _cmd_solve,
         "batch": _cmd_batch,
         "trace": _cmd_trace,
+        "obs": _cmd_obs,
         "work": _cmd_work,
         "store": _cmd_store,
     }

@@ -41,6 +41,11 @@ from repro.util import require
 #: dependent inside the small block systems.
 DEPENDENCE_CUTOFF = 1e-12
 
+#: Histogram boundaries for the per-iteration residual decay ratio
+#: (``max residual after / max residual before``; < 1 is progress,
+#: >= 1 a stalled or diverging iteration).
+DECAY_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
 
 @dataclass
 class BlockPcpgResult:
@@ -165,6 +170,7 @@ def block_pcpg(
             with tracer.span(
                 "pcpg.block_iteration", iteration=it, active=int(active.size)
             ) as iter_span:
+                prev_max = float(current[active].max())
                 fp = apply_f(p)  # (m, a)
                 ptfp = p.T @ fp
                 gamma, definite = _solve_spd(ptfp, rho)
@@ -181,10 +187,21 @@ def block_pcpg(
                 iter_span.set(
                     residual=float(norms.max()), active=int(active.size)
                 )
+                if tracer.enabled:
+                    tracer.metrics.count("pcpg.iterations")
+                    if prev_max > 0.0:
+                        tracer.metrics.observe(
+                            "pcpg.residual_decay",
+                            float(norms.max()) / prev_max,
+                            boundaries=DECAY_BUCKETS,
+                        )
 
                 done = norms <= tol * norm0[active]
                 if np.any(done):
                     deflated_at[active[done]] = it
+                    if tracer.enabled:
+                        tracer.metrics.count("pcpg.deflations", int(done.sum()))
+                        iter_span.set(deflated=int(done.sum()))
                     keep = np.flatnonzero(~done)
                     active = active[keep]
                     if active.size == 0:
@@ -211,4 +228,4 @@ def block_pcpg(
     )
 
 
-__all__ = ["block_pcpg", "BlockPcpgResult", "DEPENDENCE_CUTOFF"]
+__all__ = ["block_pcpg", "BlockPcpgResult", "DECAY_BUCKETS", "DEPENDENCE_CUTOFF"]

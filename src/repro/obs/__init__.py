@@ -15,6 +15,11 @@ One observability substrate for every layer (see
   simulated device) and flat JSON/CSV metrics dumps.
 * :mod:`repro.obs.render` — terminal phase-breakdown tree plus the
   simulated-schedule renderings (``render_schedule``/``gantt``).
+* :mod:`repro.obs.context` / :mod:`repro.obs.fleet` — distributed
+  tracing: :class:`TraceContext` crosses process boundaries through the
+  work-queue schema, per-worker snapshot artifacts merge into one
+  multi-track fleet timeline (``python -m repro trace merge``) and one
+  aggregated metrics report (``python -m repro obs report``).
 
 Typical use::
 
@@ -29,16 +34,28 @@ or end-to-end from the CLI: ``python -m repro batch --trace out.json``
 then ``python -m repro trace out.json``.
 """
 
+from repro.obs.context import TraceContext, new_trace_id
 from repro.obs.export import (
+    TraceFile,
     chrome_trace,
     load_chrome_trace,
     metrics_to_csv,
     metrics_to_json,
+    read_trace,
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.fleet import (
+    MergedTrace,
+    fleet_chrome_trace,
+    fleet_report,
+    fleet_report_json,
+    load_worker_traces,
+    merge_traces,
+)
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
+    SUMMARY_PERCENTILES,
     Histogram,
     MetricsRegistry,
     record_batch_stats,
@@ -65,22 +82,33 @@ from repro.obs.span import (
 __all__ = [
     "Span",
     "Trace",
+    "TraceContext",
     "Tracer",
     "NOOP_SPAN",
     "get_tracer",
     "set_tracer",
     "tracing",
+    "new_trace_id",
     "MetricsRegistry",
     "Histogram",
     "DEFAULT_TIME_BUCKETS",
+    "SUMMARY_PERCENTILES",
     "record_cost_ledger",
     "record_batch_stats",
     "chrome_trace",
     "write_chrome_trace",
+    "read_trace",
     "load_chrome_trace",
+    "TraceFile",
     "metrics_to_json",
     "metrics_to_csv",
     "write_metrics",
+    "MergedTrace",
+    "merge_traces",
+    "fleet_chrome_trace",
+    "fleet_report",
+    "fleet_report_json",
+    "load_worker_traces",
     "PhaseNode",
     "phase_tree",
     "render_phase_tree",

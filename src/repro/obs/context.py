@@ -1,0 +1,86 @@
+"""Trace-context propagation across process boundaries.
+
+A :class:`TraceContext` is the portable identity of one logical trace:
+a fleet-wide ``trace_id`` plus the id of the span under which follow-up
+work should hang.  It is what crosses the process boundary that a
+:class:`~repro.obs.span.Span` itself cannot: the submitter serializes its
+context into the job row (``repro.store.queue`` stores ``trace_id`` /
+``parent_span`` columns), any worker — in any process, on any machine,
+even one re-leasing the job after the original worker crashed — reads it
+back and opens its ``worker.job`` span *as a child of the submitter's
+context*.  The fleet merge (:mod:`repro.obs.fleet`) then stitches the
+per-process traces into one timeline keyed by those ids.
+
+Span ids are only unique within one tracer, so a context's ``span_id``
+is namespaced by the tracer's process tag (``<tag>:<local id>``) — two
+workers can never mint colliding context ids.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from dataclasses import dataclass
+
+#: Job-row / JSON keys under which a context travels.
+TRACE_ID_KEY = "trace_id"
+PARENT_SPAN_KEY = "parent_span"
+
+
+def new_trace_id() -> str:
+    """A fresh fleet-wide trace id (128-bit random hex)."""
+    return uuid.uuid4().hex
+
+
+def process_tag() -> str:
+    """A short tag distinguishing span-id namespaces across processes."""
+    return f"{os.getpid():x}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Portable trace identity: ``(trace_id, span_id)``.
+
+    ``span_id`` is the globally-namespaced id of the span this context
+    points at (``""`` for a root context with no recorded parent span —
+    e.g. a job submitted with tracing off still gets a ``trace_id`` so
+    the whole fleet timeline of that job stays linkable).
+    """
+
+    trace_id: str
+    span_id: str = ""
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        """A fresh parentless context (new trace id, no parent span)."""
+        return cls(trace_id=new_trace_id())
+
+    def child_attrs(self) -> dict:
+        """Span attributes a child in *another process* should carry so
+        the merged trace can link it back (``trace_id``/``remote_parent``)."""
+        attrs = {TRACE_ID_KEY: self.trace_id}
+        if self.span_id:
+            attrs["remote_parent"] = self.span_id
+        return attrs
+
+    def to_pair(self) -> tuple[str, str | None]:
+        """``(trace_id, parent_span-or-None)`` — the queue-schema shape."""
+        return self.trace_id, (self.span_id or None)
+
+    @classmethod
+    def from_pair(
+        cls, trace_id: str | None, span_id: str | None
+    ) -> "TraceContext | None":
+        """Rebuild a context from queue columns (``None`` when absent)."""
+        if not trace_id:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id or "")
+
+
+__all__ = [
+    "TraceContext",
+    "new_trace_id",
+    "process_tag",
+    "TRACE_ID_KEY",
+    "PARENT_SPAN_KEY",
+]

@@ -23,6 +23,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry
@@ -38,24 +39,24 @@ def _track_order(track: str) -> tuple:
     return (1, 0, track)
 
 
-def chrome_trace(spans: list[Span], metrics: MetricsRegistry | None = None) -> dict:
-    """Build a Chrome trace-event dict from finished spans.
+def emit_span_events(
+    events: list[dict], spans: list[Span], pid: int, tid_base: int = 0
+) -> int:
+    """Append thread-name metadata + stack-disciplined ``B``/``E`` pairs
+    for *spans* under process *pid*, numbering tracks from ``tid_base + 1``.
 
-    Spans on one track must be well nested (guaranteed for spans produced
-    by a :class:`~repro.obs.span.Tracer`: host spans come off a per-thread
-    stack, simulated spans are sequential per executor).  Each span becomes
-    a ``B``/``E`` pair; per track the event stream is stack-disciplined and
-    its timestamps are non-decreasing.
+    Returns the number of tracks emitted, so a multi-process writer (the
+    fleet merge) can keep tids globally unique across workers.  Spans on
+    one track must be well nested — guaranteed for tracer-produced spans.
     """
     tracks = sorted({s.track for s in spans}, key=_track_order)
-    tids = {track: i + 1 for i, track in enumerate(tracks)}
-    events: list[dict] = []
+    tids = {track: tid_base + i + 1 for i, track in enumerate(tracks)}
     for track in tracks:
         events.append(
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 0,
+                "pid": pid,
                 "tid": tids[track],
                 "args": {"name": track},
             }
@@ -71,46 +72,131 @@ def chrome_trace(spans: list[Span], metrics: MetricsRegistry | None = None) -> d
             while stack and stack[-1].end <= s.start:
                 done = stack.pop()
                 events.append(
-                    {"name": done.name, "ph": "E", "pid": 0, "tid": tid,
+                    {"name": done.name, "ph": "E", "pid": pid, "tid": tid,
                      "ts": done.end * 1e6}
                 )
             args = {k: v for k, v in s.attrs.items()}
             if s.cpu:
                 args["cpu_s"] = s.cpu
             events.append(
-                {"name": s.name, "ph": "B", "pid": 0, "tid": tid,
+                {"name": s.name, "ph": "B", "pid": pid, "tid": tid,
                  "ts": s.start * 1e6, "args": args}
             )
             stack.append(s)
         while stack:
             done = stack.pop()
             events.append(
-                {"name": done.name, "ph": "E", "pid": 0, "tid": tid,
+                {"name": done.name, "ph": "E", "pid": pid, "tid": tid,
                  "ts": done.end * 1e6}
             )
+    return len(tracks)
+
+
+def chrome_trace(
+    spans: list[Span],
+    metrics: MetricsRegistry | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Build a Chrome trace-event dict from finished spans.
+
+    Spans on one track must be well nested (guaranteed for spans produced
+    by a :class:`~repro.obs.span.Tracer`: host spans come off a per-thread
+    stack, simulated spans are sequential per executor).  Each span becomes
+    a ``B``/``E`` pair; per track the event stream is stack-disciplined and
+    its timestamps are non-decreasing.
+    """
+    events: list[dict] = []
+    emit_span_events(events, spans, pid=0)
     out = {"traceEvents": events, "displayTimeUnit": "ms"}
+    other: dict = {}
     if metrics is not None:
-        out["otherData"] = {"metrics": metrics.to_dict()}
+        other["metrics"] = metrics.to_dict()
+    if meta:
+        other["trace"] = dict(meta)
+    if other:
+        out["otherData"] = other
     return out
 
 
 def write_chrome_trace(
-    path, spans: list[Span], metrics: MetricsRegistry | None = None
+    path,
+    spans: list[Span],
+    metrics: MetricsRegistry | None = None,
+    meta: dict | None = None,
 ) -> str:
     """Serialize :func:`chrome_trace` to *path* (atomic tmp+rename — a
     killed process never leaves a truncated trace); returns the path."""
-    return atomic_write_text(path, json.dumps(chrome_trace(spans, metrics=metrics)))
+    return atomic_write_text(
+        path, json.dumps(chrome_trace(spans, metrics=metrics, meta=meta))
+    )
 
 
-def load_chrome_trace(path) -> tuple[list[Span], dict]:
-    """Read a written trace back into spans + the metrics snapshot.
+@dataclass
+class TraceFile:
+    """One loaded trace/metrics artifact.
 
-    Parentage is reconstructed from the per-track ``B``/``E`` nesting;
-    span ids are reassigned.  Raises ``ValueError`` on malformed files
-    (unbalanced events, unknown phases are skipped).
+    ``spans`` is empty for metrics-only files (a bare ``--metrics-out``
+    JSON dump, or a crashed worker's checkpoint that never recorded a
+    span); ``warnings`` lists every malformation a lenient read repaired
+    instead of raising.
+    """
+
+    path: str = ""
+    spans: list[Span] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def worker(self) -> str:
+        """Display name: recorded worker id, else the file stem."""
+        return str(self.meta.get("worker") or Path(self.path).stem or "trace")
+
+
+def _looks_like_metrics_dump(data: dict) -> bool:
+    """A bare ``--metrics-out`` JSON file (no trace events at all)."""
+    return "traceEvents" not in data and (
+        "counters" in data or "gauges" in data or "histograms" in data
+    )
+
+
+def read_trace(path, strict: bool = False) -> TraceFile:
+    """Read a trace or metrics artifact into a :class:`TraceFile`.
+
+    Parentage is reconstructed from the per-track ``B``/``E`` nesting and
+    span ids are reassigned.  With ``strict=True`` any malformation
+    (unbalanced events, mismatched close names, dangling opens) raises
+    ``ValueError``.  The default lenient mode instead *repairs* and
+    records a warning — a crashed worker's checkpoint, a metrics-only
+    dump, or a hand-truncated file still renders:
+
+    * an ``E`` with no open span on its track is skipped,
+    * an ``E`` naming a different span than the innermost open one is
+      skipped (the open span stays open),
+    * spans still open at the end are closed at the latest timestamp
+      seen on the file.
     """
     data = json.loads(Path(path).read_text())
-    events = data["traceEvents"] if isinstance(data, dict) else data
+    out = TraceFile(path=str(path))
+    if isinstance(data, dict) and _looks_like_metrics_dump(data):
+        out.metrics = data
+        out.warnings.append("metrics-only file (no trace events)")
+        if strict:
+            raise ValueError(f"{path}: not a Chrome trace (metrics-only dump)")
+        return out
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if events is None:
+            msg = f"{path}: no traceEvents key"
+            if strict:
+                raise ValueError(msg)
+            out.warnings.append("no traceEvents key")
+            events = []
+        other = data.get("otherData", {})
+        out.metrics = other.get("metrics", {})
+        out.meta = other.get("trace", {})
+    else:
+        events = data
     names: dict[int, str] = {}
     for ev in events:
         if ev.get("ph") == "M" and ev.get("name") == "thread_name":
@@ -118,11 +204,13 @@ def load_chrome_trace(path) -> tuple[list[Span], dict]:
     spans: list[Span] = []
     stacks: dict[int, list[Span]] = {}
     next_id = 1
+    last_ts = 0.0
     for ev in events:
         ph = ev.get("ph")
         if ph not in ("B", "E"):
             continue
         tid = ev.get("tid", 0)
+        last_ts = max(last_ts, ev.get("ts", 0.0) / 1e6)
         stack = stacks.setdefault(tid, [])
         if ph == "B":
             span = Span(
@@ -138,21 +226,45 @@ def load_chrome_trace(path) -> tuple[list[Span], dict]:
             stack.append(span)
         else:
             if not stack:
-                raise ValueError(f"unbalanced E event on tid {tid}: {ev}")
-            span = stack.pop()
-            if ev.get("name") not in (None, span.name):
-                raise ValueError(
-                    f"E event {ev.get('name')!r} closes span {span.name!r} on tid {tid}"
+                if strict:
+                    raise ValueError(f"unbalanced E event on tid {tid}: {ev}")
+                out.warnings.append(f"skipped unbalanced E event on tid {tid}")
+                continue
+            if ev.get("name") not in (None, stack[-1].name):
+                if strict:
+                    raise ValueError(
+                        f"E event {ev.get('name')!r} closes span "
+                        f"{stack[-1].name!r} on tid {tid}"
+                    )
+                out.warnings.append(
+                    f"skipped mismatched E event {ev.get('name')!r} on tid {tid}"
                 )
+                continue
+            span = stack.pop()
             span.end = ev.get("ts", 0.0) / 1e6
             spans.append(span)
-    dangling = [s.name for st in stacks.values() for s in st]
+    dangling = [s for st in stacks.values() for s in st]
     if dangling:
-        raise ValueError(f"unclosed B events: {dangling}")
-    metrics = {}
-    if isinstance(data, dict):
-        metrics = data.get("otherData", {}).get("metrics", {})
-    return spans, metrics
+        if strict:
+            raise ValueError(f"unclosed B events: {[s.name for s in dangling]}")
+        for span in dangling:
+            span.end = max(span.start, last_ts)
+            span.attrs.setdefault("unclosed", True)
+            spans.append(span)
+        out.warnings.append(
+            f"closed {len(dangling)} dangling span(s) at the last timestamp "
+            f"(partial trace — crashed or still-running writer?)"
+        )
+    out.spans = spans
+    return out
+
+
+def load_chrome_trace(path) -> tuple[list[Span], dict]:
+    """Strict legacy reader: spans + metrics snapshot; raises ``ValueError``
+    on malformed files.  Prefer :func:`read_trace` for tooling that must
+    degrade gracefully on partial or metrics-only artifacts."""
+    loaded = read_trace(path, strict=True)
+    return loaded.spans, loaded.metrics
 
 
 def metrics_to_json(metrics: MetricsRegistry) -> str:
@@ -190,8 +302,10 @@ def write_metrics(path, metrics: MetricsRegistry) -> str:
 
 
 __all__ = [
+    "TraceFile",
     "chrome_trace",
     "write_chrome_trace",
+    "read_trace",
     "load_chrome_trace",
     "metrics_to_json",
     "metrics_to_csv",

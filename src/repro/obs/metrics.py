@@ -26,15 +26,23 @@ from dataclasses import dataclass, field, fields, is_dataclass
 DEFAULT_TIME_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
 
 
+#: Percentiles included in histogram exports and summaries.
+SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
+
+
 @dataclass
 class Histogram:
     """Fixed-boundary histogram: ``counts[i]`` holds observations ``<=
-    boundaries[i]``, the final bucket is the overflow."""
+    boundaries[i]``, the final bucket is the overflow.  The observed
+    min/max are tracked so percentile estimates can clamp the open-ended
+    first and overflow buckets to real values."""
 
     boundaries: tuple[float, ...] = DEFAULT_TIME_BUCKETS
     counts: list[int] = field(default_factory=list)
     total: float = 0.0
     n: int = 0
+    vmin: float | None = None
+    vmax: float | None = None
 
     def __post_init__(self) -> None:
         if not self.counts:
@@ -44,18 +52,82 @@ class Histogram:
         self.counts[bisect.bisect_left(self.boundaries, value)] += 1
         self.total += value
         self.n += 1
+        self.vmin = value if self.vmin is None else min(self.vmin, value)
+        self.vmax = value if self.vmax is None else max(self.vmax, value)
 
     @property
     def mean(self) -> float:
         return self.total / self.n if self.n else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the *q*-th percentile (0..100) from the buckets.
+
+        Linear interpolation inside the containing bucket; the open-ended
+        first/overflow buckets are clamped to the tracked min/max, so a
+        histogram whose observations all land in one bucket still reports
+        a value inside the observed range (exact when n <= 1).
+        """
+        if self.n == 0:
+            return 0.0
+        rank = max(1.0, (q / 100.0) * self.n)
+        cum = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cum + count >= rank:
+                lo = self.boundaries[i - 1] if i > 0 else 0.0
+                hi = (
+                    self.boundaries[i]
+                    if i < len(self.boundaries)
+                    else (self.vmax if self.vmax is not None else lo)
+                )
+                if self.vmin is not None:
+                    lo = max(lo, min(self.vmin, hi))
+                if self.vmax is not None:
+                    hi = min(hi, self.vmax)
+                frac = (rank - cum) / count
+                return lo + frac * max(0.0, hi - lo)
+            cum += count
+        return self.vmax if self.vmax is not None else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* (same boundaries) into this histogram — cell-wise
+        addition, so merging is associative and commutative."""
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.total += other.total
+        self.n += other.n
+        for v in (other.vmin,):
+            if v is not None:
+                self.vmin = v if self.vmin is None else min(self.vmin, v)
+        for v in (other.vmax,):
+            if v is not None:
+                self.vmax = v if self.vmax is None else max(self.vmax, v)
+
     def to_dict(self) -> dict:
-        return {
+        out = {
             "boundaries": list(self.boundaries),
             "counts": list(self.counts),
             "total": self.total,
             "n": self.n,
+            "min": self.vmin,
+            "max": self.vmax,
         }
+        for q in SUMMARY_PERCENTILES:
+            out[f"p{q:g}"] = self.percentile(q)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        """Rebuild from a :meth:`to_dict` snapshot (derived percentile
+        keys are ignored; pre-percentile snapshots load fine)."""
+        return cls(
+            boundaries=tuple(data["boundaries"]),
+            counts=list(data["counts"]),
+            total=float(data.get("total", 0.0)),
+            n=int(data.get("n", 0)),
+            vmin=data.get("min"),
+            vmax=data.get("max"),
+        )
 
 
 class MetricsRegistry:
@@ -118,20 +190,37 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry into this one (counters/histogram cells add,
         gauges take the other's value — last write wins)."""
-        snap = other.to_dict()
+        self.merge_dict(other.to_dict())
+
+    def merge_dict(self, snap: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot into this registry.
+
+        This is the fleet-merge primitive (per-worker snapshots arrive as
+        JSON, not live registries).  Counter and histogram merging is
+        cell-wise addition — associative and commutative, so any merge
+        order over any partition of workers yields the same registry
+        (asserted by ``tests/test_fleet.py``).  Gauges are last-write-wins
+        and a histogram re-registered with different boundaries restarts
+        from the incoming snapshot's boundaries.
+        """
         with self._lock:
-            for k, v in snap["counters"].items():
+            for k, v in snap.get("counters", {}).items():
                 self._counters[k] = self._counters.get(k, 0.0) + v
-            self._gauges.update(snap["gauges"])
-            for k, h in snap["histograms"].items():
+            self._gauges.update(snap.get("gauges", {}))
+            for k, h in snap.get("histograms", {}).items():
+                incoming = Histogram.from_dict(h)
                 mine = self._histograms.get(k)
-                if mine is None or list(mine.boundaries) != h["boundaries"]:
-                    mine = self._histograms[k] = Histogram(
-                        boundaries=tuple(h["boundaries"])
-                    )
-                mine.counts = [a + b for a, b in zip(mine.counts, h["counts"])]
-                mine.total += h["total"]
-                mine.n += h["n"]
+                if mine is None or list(mine.boundaries) != list(incoming.boundaries):
+                    self._histograms[k] = incoming
+                else:
+                    mine.merge(incoming)
+
+    @classmethod
+    def from_dict(cls, snap: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_dict` snapshot."""
+        registry = cls()
+        registry.merge_dict(snap)
+        return registry
 
 
 def record_cost_ledger(registry: MetricsRegistry, ledger, prefix: str = "gpu.") -> None:
@@ -168,6 +257,7 @@ def record_batch_stats(registry: MetricsRegistry, stats, prefix: str = "batch.")
 
 __all__ = [
     "DEFAULT_TIME_BUCKETS",
+    "SUMMARY_PERCENTILES",
     "Histogram",
     "MetricsRegistry",
     "record_cost_ledger",

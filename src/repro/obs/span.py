@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.context import TraceContext, new_trace_id, process_tag
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -129,10 +130,16 @@ class _LiveSpan:
 @dataclass
 class Trace:
     """A handle on collected spans + metrics (what ``BatchResult.trace``
-    returns and what the exporters consume)."""
+    returns and what the exporters consume).
+
+    ``meta`` carries the trace's cross-process identity and clock anchor
+    (``trace_id``, ``epoch_unix``, optionally ``worker``) — everything
+    :mod:`repro.obs.fleet` needs to stitch per-process traces together.
+    """
 
     spans: list[Span]
     metrics: MetricsRegistry
+    meta: dict = field(default_factory=dict)
 
     def by_name(self, name: str) -> list[Span]:
         return [s for s in self.spans if s.name == name]
@@ -151,12 +158,14 @@ class Trace:
     def to_chrome(self) -> dict:
         from repro.obs.export import chrome_trace
 
-        return chrome_trace(self.spans, metrics=self.metrics)
+        return chrome_trace(self.spans, metrics=self.metrics, meta=self.meta)
 
     def save(self, path) -> str:
         from repro.obs.export import write_chrome_trace
 
-        return write_chrome_trace(path, self.spans, metrics=self.metrics)
+        return write_chrome_trace(
+            path, self.spans, metrics=self.metrics, meta=self.meta
+        )
 
     def tree(self):
         from repro.obs.render import phase_tree
@@ -178,10 +187,18 @@ class Tracer:
     ``enabled`` is the single switch the no-op fast path checks.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, trace_id: str | None = None) -> None:
         self.enabled = enabled
         self.metrics = MetricsRegistry()
         self.epoch = time.perf_counter()
+        #: Wall-clock instant of the epoch — the anchor the fleet merge
+        #: uses to align traces recorded on different monotonic clocks.
+        self.epoch_unix = time.time()
+        #: Fleet-wide trace id; inherited via *trace_id* when this tracer
+        #: continues a trace started elsewhere (a worker process).
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        #: Span-id namespace tag, unique per tracer across processes.
+        self.tag = process_tag()
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._spans: list[Span] = []
@@ -235,6 +252,33 @@ class Tracer:
             )
         )
 
+    # -- cross-process context ---------------------------------------------
+
+    def current_context(self) -> TraceContext:
+        """The portable context of the calling thread's innermost open span.
+
+        With no span open (or tracing disabled) the context still carries
+        this tracer's ``trace_id``, just without a parent span — follow-up
+        work stays on the same fleet trace either way.
+        """
+        stack = getattr(self._local, "stack", None) if self.enabled else None
+        if not stack:
+            return TraceContext(trace_id=self.trace_id)
+        return TraceContext(
+            trace_id=self.trace_id, span_id=f"{self.tag}:{stack[-1].span_id}"
+        )
+
+    def meta(self, **extra) -> dict:
+        """Identity + clock-anchor metadata embedded in exported traces
+        (``otherData``) so :mod:`repro.obs.fleet` can merge them."""
+        out = {
+            "trace_id": self.trace_id,
+            "tag": self.tag,
+            "epoch_unix": self.epoch_unix,
+        }
+        out.update({k: v for k, v in extra.items() if v is not None})
+        return out
+
     # -- collection --------------------------------------------------------
 
     def mark(self) -> int:
@@ -246,9 +290,13 @@ class Tracer:
         with self._lock:
             return list(self._spans[since:])
 
-    def trace(self, since: int = 0) -> Trace:
+    def trace(self, since: int = 0, **meta_extra) -> Trace:
         """Snapshot the spans recorded since *since* (a :meth:`mark`)."""
-        return Trace(spans=self.spans(since), metrics=self.metrics)
+        return Trace(
+            spans=self.spans(since),
+            metrics=self.metrics,
+            meta=self.meta(**meta_extra),
+        )
 
     # -- internals ---------------------------------------------------------
 
@@ -309,6 +357,7 @@ def tracing(tracer: Tracer | None = None):
 __all__ = [
     "Span",
     "Trace",
+    "TraceContext",
     "Tracer",
     "NOOP_SPAN",
     "get_tracer",

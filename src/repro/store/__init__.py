@@ -68,6 +68,8 @@ from repro.store.worker import (
     run_assemble_job,
     run_worker,
     sc_digest,
+    snapshot_worker_trace,
+    worker_trace_path,
 )
 
 __all__ = [
@@ -111,4 +113,6 @@ __all__ = [
     "WorkerStats",
     "JOB_HANDLERS",
     "DEFAULT_ASSEMBLE_PAYLOAD",
+    "snapshot_worker_trace",
+    "worker_trace_path",
 ]

@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.obs import get_tracer
+from repro.obs import TraceContext, get_tracer
 from repro.store.faults import NO_FAULTS, FaultInjector
 from repro.util import require
 
@@ -52,6 +52,9 @@ STATES = (OPEN, LEASED, DONE, FAILED, DEAD)
 
 #: States that still need a worker (the drain condition counts these).
 PENDING_STATES = (OPEN, LEASED, FAILED)
+
+#: Histogram boundaries for retry-backoff delays (seconds).
+BACKOFF_BUCKETS = (0.1, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0, 300.0)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -66,11 +69,20 @@ CREATE TABLE IF NOT EXISTS jobs (
     backoff_until  REAL NOT NULL DEFAULT 0,
     result         TEXT,
     error          TEXT,
+    trace_id       TEXT,
+    parent_span    TEXT,
     created_at     REAL NOT NULL,
     updated_at     REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status, backoff_until);
 """
+
+#: Columns added after PR 8 shipped — older queue.db files are migrated
+#: in place on open (``ALTER TABLE`` is cheap and idempotent per column).
+_MIGRATED_COLUMNS = (
+    ("trace_id", "TEXT"),
+    ("parent_span", "TEXT"),
+)
 
 
 class QueueError(Exception):
@@ -84,7 +96,14 @@ class LostLease(QueueError):
 
 @dataclass(frozen=True)
 class Job:
-    """One row of the work table."""
+    """One row of the work table.
+
+    ``trace_id``/``parent_span`` are the submitter's serialized
+    :class:`~repro.obs.TraceContext`: they are stamped once at submit and
+    never change across retries, so a job reclaimed from a crashed worker
+    still continues the *original* trace.  ``created_at`` rides along so
+    workers can report queue-wait time.
+    """
 
     id: int
     kind: str
@@ -97,6 +116,14 @@ class Job:
     backoff_until: float
     result: dict | None
     error: str | None
+    trace_id: str | None = None
+    parent_span: str | None = None
+    created_at: float = 0.0
+
+    @property
+    def context(self) -> TraceContext | None:
+        """The submit-time trace context (``None`` for pre-migration rows)."""
+        return TraceContext.from_pair(self.trace_id, self.parent_span)
 
 
 def _row_to_job(row: sqlite3.Row) -> Job:
@@ -112,6 +139,9 @@ def _row_to_job(row: sqlite3.Row) -> Job:
         backoff_until=row["backoff_until"],
         result=json.loads(row["result"]) if row["result"] else None,
         error=row["error"],
+        trace_id=row["trace_id"],
+        parent_span=row["parent_span"],
+        created_at=row["created_at"],
     )
 
 
@@ -156,22 +186,67 @@ class JobQueue:
         self._db.execute("PRAGMA synchronous=NORMAL")
         self._db.execute("PRAGMA busy_timeout=30000")
         self._db.executescript(_SCHEMA)
+        self._migrate()
+
+    def _migrate(self) -> None:
+        """Add post-PR-8 columns to pre-existing queue files in place."""
+        have = {
+            row["name"] for row in self._db.execute("PRAGMA table_info(jobs)")
+        }
+        for column, sql_type in _MIGRATED_COLUMNS:
+            if column not in have:
+                self._db.execute(
+                    f"ALTER TABLE jobs ADD COLUMN {column} {sql_type}"
+                )
 
     def close(self) -> None:
         self._db.close()
 
+    def _count(self, name: str, value: float = 1.0) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.metrics.count(name, value)
+
     # -- producers ---------------------------------------------------------
 
-    def submit(self, kind: str, payload: dict, max_attempts: int = 5) -> int:
-        """Insert one ``open`` job; returns its id."""
+    def submit(
+        self,
+        kind: str,
+        payload: dict,
+        max_attempts: int = 5,
+        context: TraceContext | None = None,
+    ) -> int:
+        """Insert one ``open`` job; returns its id.
+
+        The job row is stamped with a trace *context*: the one passed in,
+        else the current tracer's (the enclosing span becomes the job's
+        remote parent), else a fresh root context — every job carries a
+        ``trace_id`` even when submitted with tracing off, so a later
+        fleet merge can still group its spans.
+        """
         require(max_attempts >= 1, "max_attempts must be >= 1")
-        now = self.clock()
-        cur = self._db.execute(
-            "INSERT INTO jobs (kind, payload, status, max_attempts, created_at, "
-            "updated_at) VALUES (?, ?, ?, ?, ?, ?)",
-            (kind, json.dumps(payload, sort_keys=True), OPEN, max_attempts, now, now),
-        )
-        return int(cur.lastrowid)
+        tracer = get_tracer()
+        with tracer.span("queue.submit", kind=kind) as span:
+            if context is None:
+                context = tracer.current_context()
+                if context.span_id:
+                    # The submit span itself is the natural remote parent;
+                    # stamp its context id so the fleet merge can link
+                    # worker job spans back to this exact span.
+                    span.set(ctx=context.span_id)
+            trace_id, parent_span = context.to_pair()
+            now = self.clock()
+            cur = self._db.execute(
+                "INSERT INTO jobs (kind, payload, status, max_attempts, "
+                "trace_id, parent_span, created_at, updated_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (kind, json.dumps(payload, sort_keys=True), OPEN, max_attempts,
+                 trace_id, parent_span, now, now),
+            )
+            job_id = int(cur.lastrowid)
+            span.set(job=job_id, trace_id=trace_id)
+        self._count("queue.submits")
+        return job_id
 
     # -- workers -----------------------------------------------------------
 
@@ -215,6 +290,7 @@ class JobQueue:
             self.faults.fire("queue.claim.crash")
             job = self.get(int(row["id"]))
             span.set(claimed=True, job=job.id, attempt=job.attempts)
+            self._count("queue.claims")
             return job
 
     def _reap_expired_locked(self, now: float) -> int:
@@ -230,6 +306,8 @@ class JobQueue:
                 row["id"], row["attempts"], row["max_attempts"],
                 "lease expired (worker crashed or hung)", now,
             )
+        if rows:
+            self._count("queue.reaped", len(rows))
         return len(rows)
 
     def _retry_or_dead_locked(
@@ -241,6 +319,7 @@ class JobQueue:
                 "error = ?, updated_at = ? WHERE id = ?",
                 (DEAD, error, now, job_id),
             )
+            self._count("queue.dead_letters")
         else:
             backoff = min(
                 self.backoff_cap, self.backoff_base * (2.0 ** max(0, attempts - 1))
@@ -250,6 +329,11 @@ class JobQueue:
                 "error = ?, backoff_until = ?, updated_at = ? WHERE id = ?",
                 (FAILED, error, now + backoff, now, job_id),
             )
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.metrics.observe(
+                    "queue.backoff_seconds", backoff, boundaries=BACKOFF_BUCKETS
+                )
 
     def _owned_row(self, job_id: int, owner: str) -> sqlite3.Row:
         row = self._db.execute(
@@ -268,30 +352,33 @@ class JobQueue:
         """Extend the caller's lease; raises :class:`LostLease` when the
         lease was reaped (the worker must abandon the job)."""
         now = self.clock()
-        self._db.execute("BEGIN IMMEDIATE")
-        committed = False
-        try:
-            row = self._owned_row(job_id, owner)
-            if row["lease_deadline"] is not None and row["lease_deadline"] < now:
-                # Expired but not yet reaped: losing it here keeps the
-                # invariant that an expired lease is never silently renewed.
-                self._retry_or_dead_locked(
-                    job_id, row["attempts"], row["max_attempts"],
-                    "lease expired (heartbeat too late)", now,
+        with get_tracer().span("queue.heartbeat", job=job_id) as span:
+            self._db.execute("BEGIN IMMEDIATE")
+            committed = False
+            try:
+                row = self._owned_row(job_id, owner)
+                if row["lease_deadline"] is not None and row["lease_deadline"] < now:
+                    # Expired but not yet reaped: losing it here keeps the
+                    # invariant that an expired lease is never silently renewed.
+                    self._retry_or_dead_locked(
+                        job_id, row["attempts"], row["max_attempts"],
+                        "lease expired (heartbeat too late)", now,
+                    )
+                    self._db.execute("COMMIT")
+                    committed = True
+                    span.set(lost=True)
+                    raise LostLease(f"job {job_id}: lease expired before heartbeat")
+                self._db.execute(
+                    "UPDATE jobs SET lease_deadline = ?, updated_at = ? WHERE id = ?",
+                    (now + lease_seconds, now, job_id),
                 )
                 self._db.execute("COMMIT")
                 committed = True
-                raise LostLease(f"job {job_id}: lease expired before heartbeat")
-            self._db.execute(
-                "UPDATE jobs SET lease_deadline = ?, updated_at = ? WHERE id = ?",
-                (now + lease_seconds, now, job_id),
-            )
-            self._db.execute("COMMIT")
-            committed = True
-        except BaseException:
-            if not committed:
-                self._db.execute("ROLLBACK")
-            raise
+                self._count("queue.heartbeats")
+            except BaseException:
+                if not committed:
+                    self._db.execute("ROLLBACK")
+                raise
 
     def complete(self, job_id: int, owner: str, result: dict | None = None) -> None:
         """Mark the caller's leased job ``done`` with an optional result."""
@@ -300,32 +387,36 @@ class JobQueue:
         # times out (cheaply, thanks to the warm artifact store).
         self.faults.fire("queue.complete.crash")
         now = self.clock()
-        self._db.execute("BEGIN IMMEDIATE")
-        try:
-            self._owned_row(job_id, owner)
-            self._db.execute(
-                "UPDATE jobs SET status = ?, owner = NULL, lease_deadline = NULL, "
-                "result = ?, error = NULL, updated_at = ? WHERE id = ?",
-                (DONE, json.dumps(result or {}, sort_keys=True), now, job_id),
-            )
-            self._db.execute("COMMIT")
-        except BaseException:
-            self._db.execute("ROLLBACK")
-            raise
+        with get_tracer().span("queue.complete", job=job_id):
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                self._owned_row(job_id, owner)
+                self._db.execute(
+                    "UPDATE jobs SET status = ?, owner = NULL, lease_deadline = NULL, "
+                    "result = ?, error = NULL, updated_at = ? WHERE id = ?",
+                    (DONE, json.dumps(result or {}, sort_keys=True), now, job_id),
+                )
+                self._db.execute("COMMIT")
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+        self._count("queue.completions")
 
     def fail(self, job_id: int, owner: str, error: str) -> None:
         """Record a failed attempt: retry with backoff, or dead-letter."""
         now = self.clock()
-        self._db.execute("BEGIN IMMEDIATE")
-        try:
-            row = self._owned_row(job_id, owner)
-            self._retry_or_dead_locked(
-                job_id, row["attempts"], row["max_attempts"], error, now
-            )
-            self._db.execute("COMMIT")
-        except BaseException:
-            self._db.execute("ROLLBACK")
-            raise
+        with get_tracer().span("queue.fail", job=job_id):
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._owned_row(job_id, owner)
+                self._retry_or_dead_locked(
+                    job_id, row["attempts"], row["max_attempts"], error, now
+                )
+                self._db.execute("COMMIT")
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+        self._count("queue.failures")
 
     # -- introspection -----------------------------------------------------
 

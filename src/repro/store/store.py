@@ -297,18 +297,24 @@ class ArtifactStore:
         (the CLI ``store verify`` path, between fleet runs).
         """
         removed = 0
-        if not self.objects_dir.is_dir():
-            return 0
-        for bucket in self.objects_dir.iterdir():
-            if not bucket.is_dir():
-                continue
-            for entry in bucket.iterdir():
-                if entry.name.startswith(".") and ".tmp-" in entry.name:
-                    try:
-                        entry.unlink()
-                        removed += 1
-                    except OSError:
-                        pass
+        with get_tracer().span("store.gc") as span:
+            if not self.objects_dir.is_dir():
+                return 0
+            for bucket in self.objects_dir.iterdir():
+                if not bucket.is_dir():
+                    continue
+                for entry in bucket.iterdir():
+                    if entry.name.startswith(".") and ".tmp-" in entry.name:
+                        try:
+                            entry.unlink()
+                            removed += 1
+                        except OSError:
+                            pass
+            span.set(swept=removed)
+        if removed:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.metrics.count("store.gc_swept", removed)
         return removed
 
     def __len__(self) -> int:

@@ -33,6 +33,7 @@ import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -166,13 +167,27 @@ class WorkerStats:
     n_lost_leases: int = 0
     wall_seconds: float = 0.0
     job_ids: list[int] = field(default_factory=list)
+    job_seconds: list[float] = field(default_factory=list)
+    trace_path: str | None = None
 
     def summary(self) -> str:
-        return (
+        out = (
             f"worker {self.owner}: {self.n_done} done, {self.n_failed} failed, "
             f"{self.n_lost_leases} lost lease(s) of {self.n_claimed} claimed "
             f"in {self.wall_seconds:.2f}s"
         )
+        if self.job_seconds:
+            ordered = sorted(self.job_seconds)
+
+            def pct(q: float) -> float:
+                idx = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+                return ordered[idx]
+
+            out += (
+                f" (job p50 {pct(50):.3f}s, p90 {pct(90):.3f}s, "
+                f"p99 {pct(99):.3f}s)"
+            )
+        return out
 
 
 class _Heartbeat:
@@ -210,6 +225,24 @@ class _Heartbeat:
                 pass
 
 
+def worker_trace_path(trace_dir, owner: str) -> Path:
+    """Where :func:`run_worker` checkpoints *owner*'s trace snapshot."""
+    return Path(trace_dir) / f"WORKER_{owner}.json"
+
+
+def snapshot_worker_trace(tracer, trace_dir, owner: str) -> str | None:
+    """Write *owner*'s trace + metrics snapshot under *trace_dir*.
+
+    Atomic overwrite (tmp + rename), so a worker killed mid-write leaves
+    the previous checkpoint intact — a crashed worker always contributes
+    its last durable snapshot to the fleet merge.  No-op when tracing is
+    off or *trace_dir* is ``None``.
+    """
+    if trace_dir is None or not tracer.enabled:
+        return None
+    return tracer.trace(worker=owner).save(worker_trace_path(trace_dir, owner))
+
+
 def run_worker(
     queue: JobQueue,
     store: ArtifactStore,
@@ -220,6 +253,7 @@ def run_worker(
     timeout: float | None = None,
     faults: FaultInjector | None = None,
     handlers: dict | None = None,
+    trace_dir=None,
 ) -> WorkerStats:
     """Drain eligible jobs from *queue* until nothing is pending.
 
@@ -227,6 +261,14 @@ def run_worker(
     jobs were processed, or *timeout* wall seconds elapsed — whichever
     comes first.  While other workers hold leases or failed jobs sit in
     backoff, the loop polls every *poll_seconds*.
+
+    With tracing enabled, every ``worker.job`` span carries the job's
+    submit-time :class:`~repro.obs.TraceContext` (``trace_id`` /
+    ``remote_parent`` attributes) so the fleet merge links it back to the
+    submitter's ``queue.submit`` span — including jobs reclaimed from a
+    crashed worker, which continue the *original* trace.  When *trace_dir*
+    is given the worker checkpoints its trace + metrics snapshot
+    (``WORKER_<owner>.json``) after every job and at drain end.
 
     Failure semantics: a handler exception fails the attempt
     (retry-with-backoff via the queue); an
@@ -239,6 +281,11 @@ def run_worker(
     stats = WorkerStats(owner=owner)
     t0 = time.perf_counter()
     tracer = get_tracer()
+
+    def count(name: str, value: float = 1.0) -> None:
+        if tracer.enabled:
+            tracer.metrics.count(name, value)
+
     with tracer.span("worker.run", owner=owner):
         while True:
             stats.wall_seconds = time.perf_counter() - t0
@@ -254,26 +301,60 @@ def run_worker(
                 continue
             stats.n_claimed += 1
             stats.job_ids.append(job.id)
+            count("worker.jobs_claimed")
             handler = handlers.get(job.kind)
-            with tracer.span("worker.job", job=job.id, kind=job.kind):
+            # Queue-wait phase: submit-to-lease latency, on the queue's
+            # clock (created_at and claim share it, so injectable clocks
+            # measure correctly in tests).
+            wait = max(0.0, queue.clock() - job.created_at) if job.created_at else None
+            context = job.context
+            link_attrs = context.child_attrs() if context is not None else {}
+            job_t0 = time.perf_counter()
+            with tracer.span(
+                "worker.job", job=job.id, kind=job.kind, attempt=job.attempts,
+                **link_attrs,
+            ) as span:
+                if wait is not None:
+                    span.set(queue_wait_s=wait)
+                    if tracer.enabled:
+                        tracer.metrics.observe("worker.queue_wait_seconds", wait)
                 try:
                     if handler is None:
                         raise ValueError(f"no handler for job kind {job.kind!r}")
                     with _Heartbeat(queue, job.id, owner, lease_seconds) as hb:
-                        result = handler(job.payload, store, faults)
+                        # Compute phase — distinct from the enclosing lease
+                        # span so the merged timeline separates lease
+                        # bookkeeping from actual assembly time.
+                        with tracer.span("worker.compute", job=job.id):
+                            result = handler(job.payload, store, faults)
                     if hb.lost:
                         stats.n_lost_leases += 1
+                        count("worker.lost_leases")
                         continue
                     queue.complete(job.id, owner, result)
                     stats.n_done += 1
+                    count("worker.jobs_done")
+                    job_s = time.perf_counter() - job_t0
+                    stats.job_seconds.append(job_s)
+                    if tracer.enabled:
+                        tracer.metrics.observe("worker.job_seconds", job_s)
                 except InjectedCrash:
                     raise  # simulated process death: no fail(), no cleanup
                 except LostLease:
                     stats.n_lost_leases += 1
+                    count("worker.lost_leases")
                 except Exception as exc:
                     queue.fail(job.id, owner, f"{type(exc).__name__}: {exc}")
                     stats.n_failed += 1
+                    count("worker.jobs_failed")
+            stats.trace_path = (
+                snapshot_worker_trace(tracer, trace_dir, owner) or stats.trace_path
+            )
     stats.wall_seconds = time.perf_counter() - t0
+    count("worker.wall_seconds", stats.wall_seconds)
+    stats.trace_path = (
+        snapshot_worker_trace(tracer, trace_dir, owner) or stats.trace_path
+    )
     return stats
 
 
@@ -296,4 +377,6 @@ __all__ = [
     "run_assemble_job",
     "run_worker",
     "sc_digest",
+    "snapshot_worker_trace",
+    "worker_trace_path",
 ]

@@ -321,3 +321,26 @@ def test_solve_block_records_stats_and_timings():
     assert st_.iterations == sol.iterations
     assert solver.timings.n_rhs == 3
     assert "RHS column(s)" in st_.summary()
+
+
+def test_block_pcpg_records_convergence_metrics():
+    """Tracing a block solve yields per-iteration convergence metrics:
+    iteration/deflation counters and the residual-decay histogram."""
+    from repro.obs import tracing
+
+    f, g, rng = _dual_system(12, 2, seed=3)
+    d = rng.standard_normal((12, 3))
+    e = rng.standard_normal((2, 3))
+    with tracing() as tracer:
+        result = block_pcpg(lambda x: f @ x, d, g, e, tol=1e-10)
+    assert result.converged
+    m = tracer.metrics
+    assert m.counter("pcpg.iterations") == result.iterations
+    # every column eventually converged and left the active set
+    assert m.counter("pcpg.deflations") == d.shape[1]
+    decay = m.histogram("pcpg.residual_decay")
+    assert decay is not None and decay.n >= 1
+    assert decay.vmin is not None and decay.vmin > 0.0
+    # an SPD system with exact arithmetic contracts; allow slack for the
+    # odd stalled iteration but the median decay must be real progress
+    assert decay.percentile(50) < 1.0

@@ -182,3 +182,93 @@ def test_cli_store_stats_ls_verify(tmp_path, capsys):
     assert "symbolic" in capsys.readouterr().out
     assert main(["store", "verify", "--root", root]) == 0
     assert "0 quarantined" in capsys.readouterr().out
+
+
+def test_cli_work_trace_dir_end_to_end_fleet(tmp_path, capsys):
+    """Two-worker drill with tracing: crash, reclaim, merge, report."""
+    import json
+
+    root = _svc(tmp_path)
+    traces = str(tmp_path / "traces")
+    assert main(["work", "submit", "--root", root, "--grid", "2x2",
+                 "--cells", "8", "--count", "2", "--device", "cpu",
+                 "--trace-dir", traces]) == 0
+    assert "submit trace written" in capsys.readouterr().out
+    rc = main(["work", "run", "--root", root, "--worker-id", "w1",
+               "--faults", "worker.job.crash:1", "--lease", "2",
+               "--trace-dir", traces])
+    assert rc == 42
+    assert "crash trace written" in capsys.readouterr().err
+    import time
+
+    time.sleep(2.1)  # let w1's stale lease expire
+    rc = main(["work", "run", "--root", root, "--worker-id", "w2",
+               "--lease", "2", "--backoff", "0.1", "--trace-dir", traces])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "worker trace written" in out
+
+    merged_path = tmp_path / "FLEET_TRACE.json"
+    rc = main(["trace", "merge",
+               str(tmp_path / "traces" / "WORKER_submit.json"),
+               str(tmp_path / "traces" / "WORKER_w1.json"),
+               str(tmp_path / "traces" / "WORKER_w2.json"),
+               "--out", str(merged_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "merged 3 worker trace(s)" in out
+    assert "cross-process link(s)" in out
+    data = json.loads(merged_path.read_text())
+    pids = {ev["args"]["name"] for ev in data["traceEvents"]
+            if ev.get("ph") == "M" and ev.get("name") == "process_name"}
+    assert pids == {"submit", "w1", "w2"}
+    # the reclaimed job draws a flow arrow from the original submit span
+    assert any(ev.get("ph") == "f" for ev in data["traceEvents"])
+
+    # the merged trace renders through the normal viewer
+    assert main(["trace", str(merged_path), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "worker.job" in out and "p50" in out
+
+    rc = main(["obs", "report",
+               str(tmp_path / "traces" / "WORKER_w1.json"),
+               str(tmp_path / "traces" / "WORKER_w2.json")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fleet obs report" in out and "hit rate" in out
+
+
+def test_cli_trace_merge_requires_inputs(capsys):
+    assert main(["trace", "merge"]) == 2
+    assert "no input" in capsys.readouterr().err
+
+
+def test_cli_trace_rejects_multiple_render_files(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    a.write_text("{}")
+    b.write_text("{}")
+    assert main(["trace", str(a), str(b)]) == 2
+
+
+def test_cli_trace_renders_metrics_only_file(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "metrics.json"
+    path.write_text(json.dumps({"counters": {"store.hits": 3}, "gauges": {},
+                                "histograms": {}}))
+    assert main(["trace", str(path)]) == 0
+    captured = capsys.readouterr()
+    assert "no spans recorded" in captured.out
+    assert "metrics-only" in captured.err
+
+
+def test_cli_obs_report_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "w.json"
+    path.write_text(json.dumps({"counters": {"worker.jobs_done": 2},
+                                "gauges": {}, "histograms": {}}))
+    assert main(["obs", "report", str(path), "--json"]) == 0
+    captured = capsys.readouterr()
+    data = json.loads(captured.out[captured.out.index("{"):])
+    assert data["fleet"]["counters"]["worker.jobs_done"] == 2

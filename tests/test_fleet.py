@@ -1,0 +1,343 @@
+"""Fleet-wide distributed tracing + metrics aggregation tests.
+
+Pins the contracts of :mod:`repro.obs.fleet` and the trace-context
+propagation through the work queue:
+
+* merging N per-worker traces preserves every worker's spans and sums
+  every worker's counters (the counter-summation invariant: fleet totals
+  equal what one process doing all the work would have counted),
+* host timestamps align onto one wall clock via the recorded
+  ``epoch_unix`` anchors; simulated (``sim:*``) tracks are never shifted,
+* a job's trace context survives a worker crash — the reclaiming worker's
+  span links back to the *original* submit context,
+* metrics-snapshot merging is associative and commutative (any merge
+  order over any partition of workers yields the same registry).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    TraceFile,
+    Tracer,
+    fleet_chrome_trace,
+    fleet_report,
+    fleet_report_json,
+    merge_traces,
+    read_trace,
+    tracing,
+)
+from repro.store import (
+    ArtifactStore,
+    FaultInjector,
+    InjectedCrash,
+    JobQueue,
+    run_worker,
+    snapshot_worker_trace,
+    worker_trace_path,
+)
+
+
+class SteppableClock:
+    """Real wall clock plus a manual offset (expire leases without sleep)."""
+
+    def __init__(self) -> None:
+        import time
+
+        self._time = time
+        self.offset = 0.0
+
+    def __call__(self) -> float:
+        return self._time.time() + self.offset
+
+
+def _worker_trace(tmp_path, name: str, n_spans: int, counters: dict | None = None):
+    """Record a small standalone trace file posing as worker *name*."""
+    tracer = Tracer(enabled=True)
+    for i in range(n_spans):
+        with tracer.span("work", i=i):
+            pass
+    for key, value in (counters or {}).items():
+        tracer.metrics.count(key, value)
+    path = tmp_path / f"{name}.json"
+    tracer.trace(worker=name).save(path)
+    return path
+
+
+# -- merge round-trip --------------------------------------------------------
+
+
+def test_merge_preserves_per_worker_spans_and_sums_counters(tmp_path):
+    paths = [
+        _worker_trace(tmp_path, "w1", 3, {"worker.jobs_done": 3}),
+        _worker_trace(tmp_path, "w2", 5, {"worker.jobs_done": 5}),
+        _worker_trace(tmp_path, "w3", 2, {"worker.jobs_done": 2}),
+    ]
+    merged = merge_traces([str(p) for p in paths])
+    assert merged.workers == ["w1", "w2", "w3"]
+    assert len(merged.spans) == 10
+    assert len(merged.spans_for("w1")) == 3
+    assert len(merged.spans_for("w2")) == 5
+    assert merged.metrics.counter("worker.jobs_done") == 10
+    # span ids re-namespaced: globally unique after the merge
+    ids = [s.span_id for s in merged.spans]
+    assert len(ids) == len(set(ids))
+
+
+def test_merged_chrome_trace_roundtrips_and_keeps_worker_tracks(tmp_path):
+    paths = [
+        _worker_trace(tmp_path, "alpha", 2),
+        _worker_trace(tmp_path, "beta", 4),
+    ]
+    merged = merge_traces([str(p) for p in paths])
+    out = tmp_path / "fleet.json"
+    merged.save(out)
+    loaded = read_trace(out)
+    assert not loaded.warnings
+    assert len(loaded.spans) == len(merged.spans)
+    tracks = {s.track for s in loaded.spans}
+    assert any(t.startswith("alpha/") for t in tracks)
+    assert any(t.startswith("beta/") for t in tracks)
+    # one Perfetto process per worker
+    data = json.loads(out.read_text())
+    names = {
+        ev["args"]["name"]
+        for ev in data["traceEvents"]
+        if ev.get("ph") == "M" and ev.get("name") == "process_name"
+    }
+    assert names == {"alpha", "beta"}
+
+
+def test_merge_dedupes_colliding_worker_names(tmp_path):
+    a = _worker_trace(tmp_path / "a", "w", 1)
+    b = _worker_trace(tmp_path / "b", "w", 1)
+    merged = merge_traces([str(a), str(b)])
+    assert merged.workers == ["w", "w#2"]
+
+
+def test_merge_nothing_raises():
+    with pytest.raises(ValueError, match="nothing to merge"):
+        merge_traces([])
+
+
+# -- clock alignment ---------------------------------------------------------
+
+
+def test_clock_offsets_shift_host_but_not_sim_tracks():
+    fa = TraceFile(
+        path="a.json",
+        spans=[Span("x", 1, None, "host:0", 0.0, 1.0)],
+        meta={"worker": "a", "epoch_unix": 100.0},
+    )
+    fb = TraceFile(
+        path="b.json",
+        spans=[
+            Span("y", 1, None, "host:0", 0.0, 1.0),
+            Span("k", 2, None, "sim:dev", 0.25, 0.5),
+        ],
+        meta={"worker": "b", "epoch_unix": 105.0},
+    )
+    merged = merge_traces([fb, fa])  # order must not matter for the base
+    assert merged.clock_offsets == {"a": 0.0, "b": 5.0}
+    (b_host,) = [s for s in merged.spans if s.track == "b/host:0"]
+    assert b_host.start == pytest.approx(5.0) and b_host.end == pytest.approx(6.0)
+    (b_sim,) = [s for s in merged.spans if s.track == "b/sim:dev"]
+    assert b_sim.start == pytest.approx(0.25)  # simulated seconds: untouched
+    (a_host,) = [s for s in merged.spans if s.track == "a/host:0"]
+    assert a_host.start == pytest.approx(0.0)
+
+
+def test_merge_without_clock_anchor_warns_and_leaves_unshifted():
+    anchored = TraceFile(
+        path="a.json",
+        spans=[Span("x", 1, None, "host:0", 0.0, 1.0)],
+        meta={"worker": "a", "epoch_unix": 50.0},
+    )
+    legacy = TraceFile(
+        path="old.json", spans=[Span("y", 1, None, "host:0", 0.0, 1.0)], meta={}
+    )
+    merged = merge_traces([anchored, legacy])
+    assert any("no epoch_unix" in w for w in merged.warnings)
+    assert merged.clock_offsets["old"] == 0.0
+
+
+# -- trace-context propagation through the queue -----------------------------
+
+
+def _crash_once_handler(payload, store, faults):
+    faults.fire("worker.job.crash")
+    return {"ok": True}
+
+
+def test_trace_context_survives_crash_and_reclaim(tmp_path):
+    """A job reclaimed from a crashed worker continues the original trace:
+    both attempts' spans link back to the same submit context."""
+    clock = SteppableClock()
+    queue = JobQueue(tmp_path / "queue.db", backoff_base=0.0, clock=clock)
+    store = ArtifactStore(tmp_path / "store")
+    trace_dir = tmp_path / "traces"
+    handlers = {"boom": _crash_once_handler}
+
+    with tracing() as submitter:
+        with submitter.span("submit.root"):
+            job_id = queue.submit("boom", {"n": 1})
+        snapshot_worker_trace(submitter, trace_dir, "submit")
+    job = queue.get(job_id)
+    assert job.trace_id == submitter.trace_id
+    assert job.parent_span  # the submit span's minted context id
+    assert job.context is not None
+    assert job.context.child_attrs()["remote_parent"] == job.parent_span
+
+    faults = FaultInjector("worker.job.crash:1")
+    with tracing() as t1:
+        with pytest.raises(InjectedCrash):
+            run_worker(
+                queue, store, owner="w1", lease_seconds=5.0,
+                faults=faults, handlers=handlers,
+            )
+        snapshot_worker_trace(t1, trace_dir, "w1")
+
+    clock.offset += 6.0  # expire the crashed worker's lease
+    with tracing():
+        stats = run_worker(
+            queue, store, owner="w2", lease_seconds=5.0,
+            handlers=handlers, trace_dir=trace_dir,
+        )
+    assert stats.n_done == 1
+
+    # The reclaimed row still carries the submit-time context, untouched.
+    reclaimed = queue.get(job_id)
+    assert reclaimed.attempts == 2
+    assert reclaimed.trace_id == job.trace_id
+    assert reclaimed.parent_span == job.parent_span
+
+    merged = merge_traces(
+        [
+            worker_trace_path(trace_dir, "submit"),
+            worker_trace_path(trace_dir, "w1"),
+            worker_trace_path(trace_dir, "w2"),
+        ]
+    )
+    assert len(merged.links) == 2  # one per attempt, across two workers
+    assert {link.parent_ctx for link in merged.links} == {job.parent_span}
+    assert {link.trace_id for link in merged.links} == {submitter.trace_id}
+    assert all(link.parent_span_id is not None for link in merged.links)
+
+    # The flow arrows land in the merged Chrome trace.
+    chrome = fleet_chrome_trace(merged)
+    flows = [ev for ev in chrome["traceEvents"] if ev.get("ph") in ("s", "f")]
+    assert len(flows) == 4  # s+f per link
+    assert len({ev["id"] for ev in flows}) == 1  # same submit context
+
+
+# -- the counter-summation invariant -----------------------------------------
+
+PAYLOAD = {"cells": 6, "grid": "2x2", "execution": "per-member", "device": "cpu"}
+
+#: Deterministic counters for which fleet totals must equal the
+#: single-process run (same jobs, same fresh service root).
+SUMMED_COUNTERS = (
+    "worker.jobs_claimed",
+    "worker.jobs_done",
+    "queue.claims",
+    "queue.completions",
+    "store.hits",
+    "store.misses",
+    "store.puts",
+    "batch.n_subdomains",
+)
+
+
+def _drain(root, workers):
+    """Submit 3 assemble jobs, drain with *workers* = [(owner, max_jobs)],
+    one tracer per worker; returns the per-worker metrics snapshots."""
+    queue = JobQueue(root / "queue.db", backoff_base=0.0)
+    store = ArtifactStore(root / "store")
+    for _ in range(3):
+        queue.submit("assemble", PAYLOAD)
+    snaps = []
+    for owner, max_jobs in workers:
+        with tracing() as tracer:
+            run_worker(
+                queue, store, owner=owner, max_jobs=max_jobs, lease_seconds=30.0
+            )
+            snaps.append(tracer.metrics.to_dict())
+    assert queue.pending() == 0
+    return snaps
+
+
+def test_fleet_counters_sum_to_single_process_equivalents(tmp_path):
+    fleet_snaps = _drain(tmp_path / "fleet", [("w1", 2), ("w2", None)])
+    (solo_snap,) = _drain(tmp_path / "solo", [("solo", None)])
+    fleet = MetricsRegistry()
+    for snap in fleet_snaps:
+        fleet.merge_dict(snap)
+    solo = MetricsRegistry.from_dict(solo_snap)
+    for name in SUMMED_COUNTERS:
+        assert fleet.counter(name) == pytest.approx(solo.counter(name)), name
+    assert fleet.counter("worker.jobs_done") == 3
+
+
+def test_fleet_report_aggregates_worker_snapshots(tmp_path):
+    fleet_snaps = _drain(tmp_path / "svc", [("w1", 2), ("w2", None)])
+    files = [
+        TraceFile(path=f"{owner}.json", metrics=snap, meta={"worker": owner})
+        for owner, snap in zip(("w1", "w2"), fleet_snaps)
+    ]
+    report = fleet_report(files)
+    assert "2 worker snapshot(s)" in report
+    assert "w1" in report and "w2" in report
+    assert "hit rate" in report
+    assert "3 completion(s)" in report
+    data = fleet_report_json(files)
+    assert data["n_workers"] == 2
+    assert data["fleet"]["counters"]["worker.jobs_done"] == 3
+    assert set(data["per_worker"]) == {"w1", "w2"}
+
+
+# -- metrics-merge algebra ---------------------------------------------------
+
+
+_EVENTS = st.lists(
+    st.tuples(
+        st.sampled_from(["count", "observe"]),
+        st.sampled_from(["a.total", "b.total", "c.seconds"]),
+        st.integers(min_value=0, max_value=100),
+    ),
+    max_size=12,
+)
+
+
+def _snapshot(events) -> dict:
+    registry = MetricsRegistry()
+    for kind, name, value in events:
+        if kind == "count":
+            registry.count(name, float(value))
+        else:
+            registry.observe(name, float(value))
+    return registry.to_dict()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_EVENTS, min_size=3, max_size=3))
+def test_metrics_merge_is_associative_and_commutative(event_lists):
+    a, b, c = (_snapshot(ev) for ev in event_lists)
+
+    def fold(*snaps) -> dict:
+        registry = MetricsRegistry()
+        for snap in snaps:
+            registry.merge_dict(snap)
+        return registry.to_dict()
+
+    left = fold(fold(a, b), c)  # (a ⊕ b) ⊕ c
+    right = fold(a, fold(b, c))  # a ⊕ (b ⊕ c)
+    flat = fold(a, b, c)
+    swapped = fold(c, a, b)
+    assert left == right == flat == swapped

@@ -609,3 +609,153 @@ def test_sparse_and_gpu_kernel_spans():
     assert kernels[0].start == 0.0
     assert kernels[1].start == pytest.approx(kernels[0].end)
     assert tr.metrics.histogram("gpu.kernel_sim_seconds").n == 2
+
+
+# -- histogram percentiles / lenient trace reading (fleet observability) ----
+
+
+def test_histogram_percentiles_and_minmax():
+    from repro.obs.metrics import Histogram
+
+    h = Histogram(boundaries=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.5, 3.0, 10.0):
+        h.observe(v)
+    assert h.vmin == 0.5 and h.vmax == 10.0
+    assert 0.5 <= h.percentile(50) <= 2.0
+    assert h.percentile(99) <= 10.0  # overflow bucket clamped to vmax
+    assert h.percentile(0) >= 0.5  # first bucket clamped to vmin
+    snap = h.to_dict()
+    assert snap["min"] == 0.5 and snap["max"] == 10.0
+    assert set(snap) >= {"p50", "p90", "p99"}
+
+
+def test_histogram_single_observation_percentiles_exact():
+    from repro.obs.metrics import Histogram
+
+    h = Histogram()
+    h.observe(0.123)
+    for q in (1, 50, 99):
+        assert h.percentile(q) == pytest.approx(0.123)
+
+
+def test_histogram_merge_matches_combined_observe():
+    from repro.obs.metrics import Histogram
+
+    values_a, values_b = (0.1, 0.4, 2.0), (0.2, 8.0)
+    a, b, combined = Histogram(), Histogram(), Histogram()
+    for v in values_a:
+        a.observe(v)
+        combined.observe(v)
+    for v in values_b:
+        b.observe(v)
+        combined.observe(v)
+    a.merge(b)
+    assert a.to_dict() == combined.to_dict()
+
+
+def test_histogram_from_dict_roundtrip_and_old_snapshots():
+    from repro.obs.metrics import Histogram
+
+    h = Histogram()
+    for v in (0.01, 0.5, 3.0):
+        h.observe(v)
+    again = Histogram.from_dict(h.to_dict())
+    assert again.to_dict() == h.to_dict()
+    # pre-percentile snapshot (no min/max keys): loads, tracks None
+    old = {"boundaries": [1.0], "counts": [2, 1], "total": 4.0, "n": 3}
+    loaded = Histogram.from_dict(old)
+    assert loaded.n == 3 and loaded.vmin is None
+
+
+def test_registry_from_dict_roundtrip():
+    registry = MetricsRegistry()
+    registry.count("jobs", 4)
+    registry.gauge("depth", 2.0)
+    registry.observe("latency", 0.2)
+    snap = registry.to_dict()
+    assert MetricsRegistry.from_dict(snap).to_dict() == snap
+
+
+def test_read_trace_metrics_only_file(tmp_path):
+    from repro.obs import read_trace, write_metrics
+
+    registry = MetricsRegistry()
+    registry.count("store.hits", 7)
+    path = tmp_path / "metrics.json"
+    write_metrics(path, registry)
+    loaded = read_trace(path)
+    assert loaded.spans == []
+    assert loaded.metrics["counters"]["store.hits"] == 7
+    assert any("metrics-only" in w for w in loaded.warnings)
+    with pytest.raises(ValueError, match="metrics-only"):
+        read_trace(path, strict=True)
+
+
+def test_read_trace_partial_file_closes_dangling_spans(tmp_path):
+    from repro.obs import read_trace
+
+    path = tmp_path / "partial.json"
+    path.write_text(json.dumps({
+        "traceEvents": [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1,
+             "args": {"name": "host:0"}},
+            {"name": "worker.run", "ph": "B", "pid": 0, "tid": 1, "ts": 0.0},
+            {"name": "worker.job", "ph": "B", "pid": 0, "tid": 1, "ts": 1e6},
+            # crashed mid-job: no E events ever written
+        ]
+    }))
+    loaded = read_trace(path)
+    assert {s.name for s in loaded.spans} == {"worker.run", "worker.job"}
+    job = next(s for s in loaded.spans if s.name == "worker.job")
+    assert job.attrs.get("unclosed") is True
+    assert job.end == pytest.approx(1.0)  # closed at the last timestamp
+    assert any("dangling" in w for w in loaded.warnings)
+
+
+def test_read_trace_skips_unbalanced_and_mismatched_events(tmp_path):
+    from repro.obs import read_trace
+
+    path = tmp_path / "mangled.json"
+    path.write_text(json.dumps({
+        "traceEvents": [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1,
+             "args": {"name": "host:0"}},
+            {"name": "ghost", "ph": "E", "pid": 0, "tid": 1, "ts": 0.5e6},
+            {"name": "a", "ph": "B", "pid": 0, "tid": 1, "ts": 1e6},
+            {"name": "zzz", "ph": "E", "pid": 0, "tid": 1, "ts": 1.5e6},
+            {"name": "a", "ph": "E", "pid": 0, "tid": 1, "ts": 2e6},
+        ]
+    }))
+    loaded = read_trace(path)
+    (a,) = loaded.spans
+    assert a.name == "a" and a.end == pytest.approx(2.0)
+    assert len(loaded.warnings) == 2
+    with pytest.raises(ValueError):
+        read_trace(path, strict=True)
+
+
+def test_trace_meta_carries_identity_and_clock_anchor(tmp_path):
+    from repro.obs import read_trace
+
+    tracer = Tracer(enabled=True, trace_id="cafe" * 8)
+    with tracer.span("x"):
+        pass
+    path = tmp_path / "t.json"
+    tracer.trace(worker="w9").save(path)
+    loaded = read_trace(path)
+    assert loaded.meta["trace_id"] == "cafe" * 8
+    assert loaded.meta["worker"] == "w9"
+    assert loaded.meta["epoch_unix"] == pytest.approx(tracer.epoch_unix)
+    assert loaded.worker == "w9"
+
+
+def test_current_context_namespaced_by_process_tag():
+    tracer = Tracer(enabled=True)
+    assert tracer.current_context().span_id == ""  # no open span
+    with tracer.span("outer") as outer:
+        ctx = tracer.current_context()
+        assert ctx.trace_id == tracer.trace_id
+        assert ctx.span_id == f"{tracer.tag}:{outer.span_id}"
+    disabled = Tracer(enabled=False)
+    ctx = disabled.current_context()
+    assert ctx.trace_id == disabled.trace_id and ctx.span_id == ""

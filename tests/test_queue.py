@@ -290,3 +290,118 @@ def test_queue_invariants_hold_under_any_interleaving(tmp_path_factory, ops, n_j
         if job.status == FAILED:
             assert job.backoff_until <= clock.now + q.backoff_cap
     q.close()
+
+
+# -- trace-context propagation (fleet observability) -------------------------
+
+
+def test_submit_stamps_trace_context_from_current_span(queue):
+    from repro.obs import set_tracer, tracing
+
+    with tracing() as tracer:
+        with tracer.span("submit.root"):
+            job_id = queue.submit("assemble", {"cells": 4})
+    job = queue.get(job_id)
+    assert job.trace_id == tracer.trace_id
+    assert job.parent_span and job.parent_span.startswith(tracer.tag + ":")
+    assert job.context.trace_id == tracer.trace_id
+    # the queue.submit span minted its own context id for the fleet merge
+    submit = next(s for s in tracer.spans() if s.name == "queue.submit")
+    assert submit.attrs["ctx"] == job.parent_span
+    assert submit.attrs["job"] == job_id
+
+
+def test_submit_without_tracing_still_assigns_trace_id(queue):
+    job = queue.get(queue.submit("assemble", {}))
+    assert job.trace_id  # linkable even when submitted with tracing off
+    assert job.parent_span is None
+    assert job.context.span_id == ""
+
+
+def test_submit_with_explicit_context(queue):
+    from repro.obs import TraceContext
+
+    ctx = TraceContext(trace_id="f" * 32, span_id="dead:7")
+    job = queue.get(queue.submit("assemble", {}, context=ctx))
+    assert job.trace_id == "f" * 32
+    assert job.parent_span == "dead:7"
+    assert job.context == ctx
+
+
+def test_trace_context_preserved_across_reap_and_retries(queue, clock):
+    from repro.obs import TraceContext
+
+    ctx = TraceContext(trace_id="a" * 32, span_id="beef:3")
+    job_id = queue.submit("assemble", {}, context=ctx)
+    first = queue.claim("w1", lease_seconds=10.0)
+    assert first.id == job_id and first.context == ctx
+    clock.advance(11.0)  # w1 "crashes"; lease expires
+    assert queue.claim("w2", lease_seconds=10.0) is None  # reaped into backoff
+    clock.advance(2.0)
+    reclaimed = queue.claim("w2", lease_seconds=10.0)
+    assert reclaimed.id == job_id and reclaimed.attempts == 2
+    assert reclaimed.context == ctx  # stamped once, never rewritten
+
+
+def test_pre_fleet_schema_migrates_in_place(tmp_path):
+    import sqlite3
+
+    path = tmp_path / "old.db"
+    db = sqlite3.connect(path)
+    db.executescript("""
+        CREATE TABLE jobs (
+            id INTEGER PRIMARY KEY AUTOINCREMENT,
+            kind TEXT NOT NULL,
+            payload TEXT NOT NULL,
+            status TEXT NOT NULL DEFAULT 'open',
+            attempts INTEGER NOT NULL DEFAULT 0,
+            max_attempts INTEGER NOT NULL DEFAULT 5,
+            owner TEXT,
+            lease_deadline REAL,
+            backoff_until REAL NOT NULL DEFAULT 0,
+            result TEXT,
+            error TEXT,
+            created_at REAL NOT NULL,
+            updated_at REAL NOT NULL
+        );
+    """)
+    db.execute(
+        "INSERT INTO jobs (kind, payload, created_at, updated_at) "
+        "VALUES ('assemble', '{}', 1.0, 1.0)"
+    )
+    db.commit()
+    db.close()
+    queue = JobQueue(path)  # opening migrates: ALTER TABLE adds the columns
+    old_job = queue.get(1)
+    assert old_job.trace_id is None and old_job.context is None
+    new_id = queue.submit("assemble", {})
+    assert queue.get(new_id).trace_id  # new rows carry a context
+    queue.close()
+    # idempotent: re-opening an already-migrated file is fine
+    JobQueue(path).close()
+
+
+def test_queue_metrics_counters(tmp_path, clock):
+    from repro.obs import tracing
+
+    with tracing() as tracer:
+        q = JobQueue(tmp_path / "q.db", backoff_base=1.0, clock=clock)
+        job_id = q.submit("assemble", {})
+        q.submit("assemble", {})
+        job = q.claim("w1")
+        q.complete(job.id, "w1", {})
+        job2 = q.claim("w1", lease_seconds=5.0)
+        q.fail(job2.id, "w1", "boom")
+        clock.advance(2.0)
+        job3 = q.claim("w1", lease_seconds=5.0)  # retry after backoff
+        clock.advance(6.0)
+        q.claim("w2")  # reaps job3's expired lease
+        q.close()
+    m = tracer.metrics
+    assert m.counter("queue.submits") == 2
+    assert m.counter("queue.completions") == 1
+    assert m.counter("queue.failures") == 1
+    assert m.counter("queue.reaped") == 1
+    backoff = m.histogram("queue.backoff_seconds")
+    assert backoff is not None and backoff.n >= 2  # fail + reap
+    assert job_id == job.id

@@ -64,6 +64,8 @@ FLAG_DOC_FILES = (
 HELP_COMMANDS = (
     ("batch", "--help"),
     ("solve", "--help"),
+    ("trace", "--help"),
+    ("obs", "report", "--help"),
     ("work", "submit", "--help"),
     ("work", "run", "--help"),
     ("work", "status", "--help"),
@@ -75,9 +77,6 @@ HELP_COMMANDS = (
 FLAG_ALLOWLIST = {
     "--paper-scale",
     "--out",
-    # flags of the `repro trace` subcommand, not `repro batch`
-    "--top",
-    "--depth",
     # flags of tools/check_bench.py and pytest-benchmark (docs/ci.md)
     "--baseline",
     "--delta-out",
